@@ -1,0 +1,50 @@
+"""E5 — result equivalence and alignment accuracy.
+
+The paper's speedups are only meaningful because the improved algorithm
+produces the same alignments as baseline GenASM; this benchmark checks that
+equivalence on the workload and additionally measures how often the
+windowed heuristic attains the full-DP optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.edlib_like import EdlibLikeAligner
+from repro.core.aligner import GenASMAligner
+from repro.core.config import GenASMConfig
+from repro.harness.experiments import run_accuracy_experiment
+
+from conftest import report_rows
+
+
+@pytest.mark.bench
+def test_bench_e5_accuracy_table(benchmark, workload):
+    rows = benchmark.pedantic(
+        run_accuracy_experiment, args=(workload,), rounds=1, iterations=1
+    )
+    report_rows(benchmark, rows, keys=("id", "paper", "measured", "optimal_fraction"))
+    assert rows[0]["measured"] == 1.0
+    assert rows[0]["optimal_fraction"] >= 0.9
+
+
+@pytest.mark.bench
+def test_bench_distance_gap_to_optimum(benchmark, workload):
+    """Distribution of (GenASM distance − optimal distance) over the workload."""
+    genasm = GenASMAligner(GenASMConfig())
+    edlib = EdlibLikeAligner("prefix")
+    pairs = workload.pairs
+
+    def run():
+        gaps = []
+        for pattern, text in pairs:
+            heuristic = genasm.align(pattern, text).edit_distance
+            optimum = edlib.align(pattern, text).edit_distance
+            gaps.append(heuristic - optimum)
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["gaps"] = gaps
+    print("\ndistance gaps (heuristic - optimal):", gaps)
+    assert all(g >= 0 for g in gaps)
+    assert sum(gaps) / len(gaps) <= 2.0

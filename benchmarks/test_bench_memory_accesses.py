@@ -1,0 +1,58 @@
+"""E4 — memory-access reduction (paper: 12×).
+
+Counts DP-table accesses (and byte traffic) of instrumented baseline vs.
+improved GenASM runs over the workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aligner import GenASMAligner
+from repro.core.config import GenASMConfig
+from repro.core.metrics import AccessCounter
+from repro.harness.experiments import run_memory_access_experiment
+
+from conftest import report_rows
+
+
+@pytest.mark.bench
+def test_bench_e4_access_table(benchmark, workload):
+    rows = benchmark.pedantic(
+        run_memory_access_experiment, args=(workload,), rounds=1, iterations=1
+    )
+    report_rows(
+        benchmark,
+        rows,
+        keys=("id", "paper", "measured", "access_count_reduction"),
+    )
+    assert rows[0]["measured"] > 4.0
+
+
+@pytest.mark.bench
+def test_bench_access_breakdown_by_phase(benchmark, workload):
+    """DC writes vs TB reads, baseline vs improved."""
+    pairs = workload.pairs[:6]
+
+    def run():
+        out = {}
+        for name, config in (
+            ("improved", GenASMConfig()),
+            ("baseline", GenASMConfig.baseline()),
+        ):
+            counter = AccessCounter()
+            aligner = GenASMAligner(config)
+            for pattern, text in pairs:
+                aligner.align(pattern, text, counter=counter)
+            out[name] = counter.as_dict()
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    improved, baseline = result["improved"], result["baseline"]
+    print("\nphase breakdown:", result)
+    # Stores dominate the reduction (4x from entry compression), reads shrink
+    # because early termination skips rows and the traceback is unchanged.
+    assert baseline["dp_writes"] > 3 * improved["dp_writes"]
+    assert baseline["total_bytes"] > 4 * improved["total_bytes"]
+    assert baseline["rows_computed"] > improved["rows_computed"]

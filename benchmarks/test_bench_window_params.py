@@ -1,0 +1,61 @@
+"""A2 — sensitivity to the window size W and overlap O.
+
+GenASM's windowing is a heuristic: larger windows and overlaps improve
+alignment quality (distance closer to optimal) at higher cost.  This sweep
+reproduces that trade-off and checks that the default configuration
+(W = 64, O = 24) sits at a sensible point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.edlib_like import EdlibLikeAligner
+from repro.core.aligner import GenASMAligner
+from repro.core.config import GenASMConfig
+
+from conftest import report_rows
+
+
+@pytest.mark.bench
+def test_bench_a2_window_sweep(benchmark, workload):
+    pairs = workload.pairs[:6]
+    edlib = EdlibLikeAligner("prefix")
+    optima = [edlib.align(p, t).edit_distance for p, t in pairs]
+    configs = [
+        ("W32_O8", GenASMConfig(window_size=32, window_overlap=8)),
+        ("W64_O12", GenASMConfig(window_size=64, window_overlap=12)),
+        ("W64_O24", GenASMConfig(window_size=64, window_overlap=24)),
+        ("W96_O32", GenASMConfig(window_size=96, window_overlap=32)),
+        ("W128_O48", GenASMConfig(window_size=128, window_overlap=48)),
+    ]
+
+    def sweep():
+        rows = []
+        for name, config in configs:
+            aligner = GenASMAligner(config)
+            excess = 0
+            entries = 0
+            for (pattern, text), optimum in zip(pairs, optima):
+                alignment = aligner.align(pattern, text)
+                excess += alignment.edit_distance - optimum
+                entries += alignment.metadata["dp_accesses"]
+            rows.append(
+                {
+                    "id": f"A2_{name}",
+                    "metric": f"window sweep {name}",
+                    "paper": float("nan"),
+                    "measured": excess / len(pairs),
+                    "mean_excess_edits": excess / len(pairs),
+                    "dp_accesses": entries,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_rows(benchmark, rows, keys=("id", "mean_excess_edits", "dp_accesses"))
+    by_id = {row["id"]: row for row in rows}
+    # Bigger windows/overlaps never hurt accuracy; the default is near-optimal.
+    assert by_id["A2_W64_O24"]["mean_excess_edits"] <= by_id["A2_W32_O8"]["mean_excess_edits"] + 1e-9
+    assert by_id["A2_W64_O24"]["mean_excess_edits"] <= 2.0
+    assert by_id["A2_W128_O48"]["mean_excess_edits"] <= by_id["A2_W64_O24"]["mean_excess_edits"] + 1e-9

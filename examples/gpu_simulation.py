@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""GPU execution-model demo: why the improved algorithm is what makes the GPU fast.
+
+Profiles a batch of candidate pairs with the baseline and improved GenASM
+kernels, then runs both through the A6000 execution model (and the Xeon CPU
+model) at the paper's workload scale.  The output shows the mechanism the
+paper describes: the baseline kernel's DP working set spills to global
+memory and the kernel becomes bandwidth-bound, while the improved kernel
+fits in shared memory and becomes compute-bound.
+
+Run with::
+
+    python examples/gpu_simulation.py
+"""
+
+from repro.core.config import GenASMConfig
+from repro.gpu import A6000, XEON_GOLD_5118, CpuModel, GenASMKernelSpec, GpuSimulator
+from repro.harness.dataset import build_paper_dataset
+
+
+def describe(result) -> str:
+    where = "shared memory" if result.dp_in_shared else "GLOBAL memory"
+    return (
+        f"{result.kernel:<22} est. {result.estimated_seconds:8.3f} s   "
+        f"{result.pairs_per_second:12,.0f} pairs/s   {result.bound}-bound   "
+        f"DP state in {where}   occupancy {result.occupancy:.0%}"
+    )
+
+
+def main() -> None:
+    print("building a scaled candidate-pair workload ...")
+    workload = build_paper_dataset(read_count=8, read_length=1_000, seed=3, max_pairs=8)
+    multiplier = workload.scale_to_paper
+    print(f"  {workload.pair_count} profiled pairs, extrapolated x{multiplier:,.0f} "
+          f"to the paper's 138,929-pair dataset\n")
+
+    improved = GenASMKernelSpec(GenASMConfig(), name="genasm-gpu-improved")
+    baseline = GenASMKernelSpec(GenASMConfig.baseline(), name="genasm-gpu-baseline")
+
+    gpu = GpuSimulator(A6000)
+    cpu = CpuModel(XEON_GOLD_5118)
+
+    improved_profiles = improved.profile_batch(workload.pairs)
+    baseline_profiles = baseline.profile_batch(workload.pairs)
+
+    print(f"simulated on {A6000.name}:")
+    gpu_improved = gpu.simulate(
+        workload.pairs, improved, profiles=improved_profiles, workload_multiplier=multiplier
+    )
+    gpu_baseline = gpu.simulate(
+        workload.pairs, baseline, profiles=baseline_profiles, workload_multiplier=multiplier
+    )
+    print(" ", describe(gpu_improved))
+    print(" ", describe(gpu_baseline))
+
+    print(f"\nsimulated on {XEON_GOLD_5118.name}:")
+    cpu_improved = cpu.simulate(
+        workload.pairs, improved, profiles=improved_profiles, workload_multiplier=multiplier
+    )
+    cpu_baseline = cpu.simulate(
+        workload.pairs, baseline, profiles=baseline_profiles, workload_multiplier=multiplier
+    )
+    print(" ", describe(cpu_improved))
+    print(" ", describe(cpu_baseline))
+
+    print("\nspeedups (paper's corresponding numbers in parentheses):")
+    print(f"  GPU improved vs GPU baseline : {gpu_improved.speedup_over(gpu_baseline):5.1f}x  (5.9x)")
+    print(f"  GPU improved vs CPU improved : {gpu_improved.speedup_over(cpu_improved):5.1f}x  (4.1x)")
+    print(f"  CPU improved vs CPU baseline : {cpu_improved.speedup_over(cpu_baseline):5.1f}x  (1.9x)")
+
+    # The functional results are identical regardless of device or variant.
+    assert [a.edit_distance for a in gpu_improved.alignments] == [
+        a.edit_distance for a in gpu_baseline.alignments
+    ]
+    print("\nfunctional check: improved and baseline kernels returned identical alignments")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — reproduction of *Algorithmic Improvement and GPU Acceleration of
+the GenASM Algorithm* (Lindegger et al., IPPS 2022).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+``repro.core``
+    The GenASM bitvector alignment algorithm (DC + TB), the three
+    algorithmic improvements introduced by the paper, and the windowed
+    long-read aligner built on top of them.
+``repro.baselines``
+    The comparison aligners used in the paper's evaluation: a KSW2-like
+    banded affine-gap aligner, an Edlib-like Myers bit-vector aligner, and
+    full dynamic-programming oracles used for ground truth.
+``repro.genomics``
+    Synthetic genomes, a PBSIM2-like long-read simulator, an Illumina-like
+    short-read simulator and FASTA/FASTQ I/O.
+``repro.mapping``
+    A minimizer-based seed-and-chain read mapper that produces the
+    candidate (read, reference) pairs the paper aligns (the role minimap2
+    plays in the paper).
+``repro.gpu``
+    A SIMT execution-model simulator standing in for the NVIDIA A6000 used
+    in the paper, plus GenASM GPU kernels expressed against it.
+``repro.parallel``
+    Batch execution utilities for the CPU evaluation.
+``repro.harness``
+    Dataset construction, the experiment registry (E1–E5 and ablations)
+    and report generation.
+
+Quickstart::
+
+    from repro import GenASMAligner
+    aln = GenASMAligner().align("ACGTACGTAC", "ACGAACGTTAC")
+    print(aln.edit_distance, aln.cigar)
+"""
+
+from repro.core.aligner import GenASMAligner, align_pair
+from repro.core.alignment import Alignment
+from repro.core.cigar import Cigar, CigarOp
+from repro.core.config import GenASMConfig
+
+__all__ = [
+    "GenASMAligner",
+    "GenASMConfig",
+    "Alignment",
+    "Cigar",
+    "CigarOp",
+    "align_pair",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Baseline aligners used in the paper's evaluation plus DP ground truths.
+
+* :mod:`repro.baselines.needleman_wunsch` — full-matrix unit-cost edit
+  distance / alignment (the correctness oracle for every other aligner).
+* :mod:`repro.baselines.gotoh` — full-matrix affine-gap alignment
+  (Smith–Waterman–Gotoh style, global mode), the oracle for KSW2.
+* :mod:`repro.baselines.edlib_like` — Myers' bit-vector edit-distance
+  algorithm with traceback, standing in for Edlib.
+* :mod:`repro.baselines.ksw2` — banded affine-gap global alignment with the
+  Suzuki–Kasahara difference recurrence, standing in for KSW2.
+"""
+
+from repro.baselines.needleman_wunsch import (
+    edit_distance,
+    needleman_wunsch,
+    semiglobal_edit_distance,
+)
+from repro.baselines.gotoh import gotoh_align, gotoh_score
+from repro.baselines.edlib_like import EdlibLikeAligner, myers_edit_distance
+from repro.baselines.ksw2 import Ksw2Aligner, ksw2_global_score
+
+__all__ = [
+    "edit_distance",
+    "semiglobal_edit_distance",
+    "needleman_wunsch",
+    "gotoh_align",
+    "gotoh_score",
+    "EdlibLikeAligner",
+    "myers_edit_distance",
+    "Ksw2Aligner",
+    "ksw2_global_score",
+]

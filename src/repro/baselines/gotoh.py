@@ -1,0 +1,162 @@
+"""Affine-gap global alignment oracle (Smith–Waterman–Gotoh recurrences).
+
+This is the *reference* implementation of affine-gap alignment used to
+validate the KSW2-like banded aligner: full matrices, plain Python loops,
+no shortcuts.  It is intentionally simple and is only run on short
+sequences by the test suite; the production-path affine aligner is
+:mod:`repro.baselines.ksw2`.
+
+Scoring convention (maximisation): a gap of length ``L`` scores
+``gap_open + gap_extend * (L - 1)`` with both values negative, matching
+:meth:`repro.core.cigar.Cigar.affine_score`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.alignment import Alignment
+from repro.core.cigar import Cigar, CigarOp
+
+__all__ = ["gotoh_score", "gotoh_align", "ScoringScheme"]
+
+NEG_INF = -(10**9)
+
+
+class ScoringScheme:
+    """Affine-gap scoring parameters shared by Gotoh and the KSW2-like aligner."""
+
+    def __init__(
+        self,
+        match: int = 2,
+        mismatch: int = -4,
+        gap_open: int = -4,
+        gap_extend: int = -2,
+    ) -> None:
+        if match <= 0:
+            raise ValueError("match score must be positive")
+        if mismatch >= 0 or gap_open >= 0 or gap_extend >= 0:
+            raise ValueError("mismatch and gap penalties must be negative")
+        if gap_open > gap_extend:
+            raise ValueError(
+                "gap_open must be at most gap_extend (opening may not be cheaper "
+                "than extending); the lazy-F evaluation in the KSW2-like aligner "
+                "relies on this"
+            )
+        self.match = match
+        self.mismatch = mismatch
+        self.gap_open = gap_open
+        self.gap_extend = gap_extend
+
+    def substitution(self, a: str, b: str) -> int:
+        """Score of aligning characters ``a`` and ``b``."""
+        return self.match if a == b else self.mismatch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScoringScheme(match={self.match}, mismatch={self.mismatch}, "
+            f"gap_open={self.gap_open}, gap_extend={self.gap_extend})"
+        )
+
+
+def _fill(
+    pattern: str, text: str, scheme: ScoringScheme
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill the three Gotoh matrices (H, E, F) for global alignment.
+
+    ``E`` holds states ending in a gap that consumes text (deletion runs),
+    ``F`` states ending in a gap that consumes pattern (insertion runs).
+    """
+    m, n = len(pattern), len(text)
+    H = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    go, ge = scheme.gap_open, scheme.gap_extend
+
+    H[0, 0] = 0
+    for j in range(1, n + 1):
+        E[0, j] = go + ge * (j - 1)
+        H[0, j] = E[0, j]
+    for i in range(1, m + 1):
+        F[i, 0] = go + ge * (i - 1)
+        H[i, 0] = F[i, 0]
+
+    for i in range(1, m + 1):
+        pc = pattern[i - 1]
+        for j in range(1, n + 1):
+            E[i, j] = max(H[i, j - 1] + go, E[i, j - 1] + ge)
+            F[i, j] = max(H[i - 1, j] + go, F[i - 1, j] + ge)
+            diag = H[i - 1, j - 1] + scheme.substitution(pc, text[j - 1])
+            H[i, j] = max(diag, E[i, j], F[i, j])
+    return H, E, F
+
+
+def gotoh_score(
+    pattern: str, text: str, scheme: ScoringScheme | None = None
+) -> int:
+    """Optimal affine-gap global alignment score."""
+    scheme = scheme or ScoringScheme()
+    if not pattern and not text:
+        return 0
+    H, _, _ = _fill(pattern, text, scheme)
+    return int(H[len(pattern), len(text)])
+
+
+def gotoh_align(
+    pattern: str, text: str, scheme: ScoringScheme | None = None
+) -> Alignment:
+    """Optimal affine-gap global alignment with full traceback."""
+    scheme = scheme or ScoringScheme()
+    m, n = len(pattern), len(text)
+    if m == 0 and n == 0:
+        return Alignment(pattern, text, Cigar(()), 0, score=0, aligner="gotoh")
+    H, E, F = _fill(pattern, text, scheme)
+    go, ge = scheme.gap_open, scheme.gap_extend
+
+    ops = []
+    i, j = m, n
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            if i == 0:
+                state = "E"
+                continue
+            if j == 0:
+                state = "F"
+                continue
+            diag = H[i - 1, j - 1] + scheme.substitution(pattern[i - 1], text[j - 1])
+            if H[i, j] == diag:
+                same = pattern[i - 1] == text[j - 1]
+                ops.append(CigarOp.MATCH if same else CigarOp.MISMATCH)
+                i, j = i - 1, j - 1
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            ops.append(CigarOp.DELETION)
+            if E[i, j] == E[i, j - 1] + ge and j > 1:
+                j -= 1
+            else:
+                j -= 1
+                state = "H"
+        else:  # state == "F"
+            ops.append(CigarOp.INSERTION)
+            if F[i, j] == F[i - 1, j] + ge and i > 1:
+                i -= 1
+            else:
+                i -= 1
+                state = "H"
+    ops.reverse()
+    cigar = Cigar.from_ops(ops)
+    return Alignment(
+        pattern=pattern,
+        text=text,
+        cigar=cigar,
+        edit_distance=cigar.edit_distance,
+        score=int(H[m, n]),
+        aligner="gotoh",
+        metadata={"dp_cells": float((m + 1) * (n + 1))},
+    )

@@ -1,0 +1,275 @@
+"""CIGAR strings and edit operations.
+
+Every aligner in this repository (GenASM, the DP oracles, the Edlib-like
+and KSW2-like baselines, and the GPU kernels) reports its alignment as a
+:class:`Cigar`, so alignments can be compared, validated and re-scored with
+one shared implementation.
+
+Operation semantics follow SAM conventions with the *pattern* (the read)
+playing the role of the query and the *text* (the reference span) the role
+of the reference:
+
+``M``  match or mismatch — consumes one pattern and one text character.
+``=``  exact match       — consumes one pattern and one text character.
+``X``  mismatch          — consumes one pattern and one text character.
+``I``  insertion         — consumes one pattern character only
+        (a character present in the read but absent from the reference).
+``D``  deletion          — consumes one text character only.
+``S``  soft clip         — consumes pattern characters that are not aligned.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["CigarOp", "Cigar", "cigar_from_ops", "edit_distance_of_cigar"]
+
+_CIGAR_RE = re.compile(r"(\d+)([MIDNSHP=X])")
+
+
+class CigarOp(str, Enum):
+    """A single CIGAR operation code."""
+
+    MATCH = "="
+    MISMATCH = "X"
+    ALIGN = "M"
+    INSERTION = "I"
+    DELETION = "D"
+    SOFT_CLIP = "S"
+
+    @property
+    def consumes_pattern(self) -> bool:
+        """Whether the operation advances the pattern (read/query)."""
+        return self in (
+            CigarOp.MATCH,
+            CigarOp.MISMATCH,
+            CigarOp.ALIGN,
+            CigarOp.INSERTION,
+            CigarOp.SOFT_CLIP,
+        )
+
+    @property
+    def consumes_text(self) -> bool:
+        """Whether the operation advances the text (reference)."""
+        return self in (CigarOp.MATCH, CigarOp.MISMATCH, CigarOp.ALIGN, CigarOp.DELETION)
+
+    @property
+    def is_edit(self) -> bool:
+        """Whether the operation counts toward unit-cost edit distance."""
+        return self in (CigarOp.MISMATCH, CigarOp.INSERTION, CigarOp.DELETION)
+
+
+@dataclass(frozen=True)
+class Cigar:
+    """An immutable run-length encoded sequence of CIGAR operations."""
+
+    runs: Tuple[Tuple[int, CigarOp], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, text: str) -> "Cigar":
+        """Parse a SAM-style CIGAR string such as ``"10=1X3I2D"``."""
+        if text in ("", "*"):
+            return cls(())
+        runs: List[Tuple[int, CigarOp]] = []
+        consumed = 0
+        for match in _CIGAR_RE.finditer(text):
+            length, op = int(match.group(1)), match.group(2)
+            if op in ("N", "H", "P"):
+                raise ValueError(f"unsupported CIGAR op {op!r} in {text!r}")
+            runs.append((length, CigarOp(op)))
+            consumed += len(match.group(0))
+        if consumed != len(text):
+            raise ValueError(f"malformed CIGAR string: {text!r}")
+        return cls.from_runs(runs)
+
+    @classmethod
+    def from_runs(cls, runs: Iterable[Tuple[int, CigarOp]]) -> "Cigar":
+        """Build a canonical (merged, zero-free) CIGAR from run tuples."""
+        merged: List[Tuple[int, CigarOp]] = []
+        for length, op in runs:
+            if length < 0:
+                raise ValueError(f"negative CIGAR run length: {length}")
+            if length == 0:
+                continue
+            if merged and merged[-1][1] == op:
+                merged[-1] = (merged[-1][0] + length, op)
+            else:
+                merged.append((length, op))
+        return cls(tuple(merged))
+
+    @classmethod
+    def from_ops(cls, ops: Iterable[CigarOp]) -> "Cigar":
+        """Build a CIGAR from a sequence of single operations."""
+        return cls.from_runs((1, op) for op in ops)
+
+    # ------------------------------------------------------------------ #
+    # Presentation and iteration
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        if not self.runs:
+            return "*"
+        return "".join(f"{length}{op.value}" for length, op in self.runs)
+
+    def __len__(self) -> int:
+        return sum(length for length, _ in self.runs)
+
+    def __iter__(self) -> Iterator[Tuple[int, CigarOp]]:
+        return iter(self.runs)
+
+    def __bool__(self) -> bool:
+        return bool(self.runs)
+
+    def ops(self) -> Iterator[CigarOp]:
+        """Iterate over individual operations (run-length expanded)."""
+        for length, op in self.runs:
+            for _ in range(length):
+                yield op
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def pattern_length(self) -> int:
+        """Number of pattern (read) characters consumed."""
+        return sum(length for length, op in self.runs if op.consumes_pattern)
+
+    @property
+    def text_length(self) -> int:
+        """Number of text (reference) characters consumed."""
+        return sum(length for length, op in self.runs if op.consumes_text)
+
+    @property
+    def aligned_pattern_length(self) -> int:
+        """Pattern characters consumed excluding soft clips."""
+        return sum(
+            length
+            for length, op in self.runs
+            if op.consumes_pattern and op is not CigarOp.SOFT_CLIP
+        )
+
+    @property
+    def edit_distance(self) -> int:
+        """Unit-cost edit distance implied by the CIGAR.
+
+        ``M`` runs are ambiguous (match or mismatch) and contribute zero;
+        callers that need exact distances should produce ``=``/``X`` runs,
+        as every aligner in this repository does.
+        """
+        return sum(length for length, op in self.runs if op.is_edit)
+
+    @property
+    def matches(self) -> int:
+        """Number of exact-match (``=``) columns."""
+        return sum(length for length, op in self.runs if op is CigarOp.MATCH)
+
+    def counts(self) -> dict:
+        """Return a mapping from op value to total length, for reporting."""
+        out: dict = {}
+        for length, op in self.runs:
+            out[op.value] = out.get(op.value, 0) + length
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Cigar") -> "Cigar":
+        return Cigar.from_runs(list(self.runs) + list(other.runs))
+
+    def reversed(self) -> "Cigar":
+        """Return the CIGAR of the reversed alignment."""
+        return Cigar(tuple(reversed(self.runs)))
+
+    def collapse_to_M(self) -> "Cigar":
+        """Collapse ``=``/``X`` runs into SAM-classic ``M`` runs."""
+        return Cigar.from_runs(
+            (length, CigarOp.ALIGN if op in (CigarOp.MATCH, CigarOp.MISMATCH) else op)
+            for length, op in self.runs
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation and scoring against sequences
+    # ------------------------------------------------------------------ #
+    def validate(self, pattern: str, text: str, *, partial_text: bool = True) -> None:
+        """Check that the CIGAR is consistent with ``pattern`` and ``text``.
+
+        Raises ``ValueError`` when lengths do not add up or when a run
+        labelled ``=`` covers characters that differ (or ``X`` covers equal
+        characters).  ``partial_text`` permits the alignment to consume only
+        a suffix-anchored prefix of the text, which is the semi-global
+        semantics GenASM uses for candidate-region alignment.
+        """
+        if self.pattern_length != len(pattern):
+            raise ValueError(
+                f"CIGAR consumes {self.pattern_length} pattern chars, "
+                f"pattern has {len(pattern)}"
+            )
+        if self.text_length > len(text) or (
+            not partial_text and self.text_length != len(text)
+        ):
+            raise ValueError(
+                f"CIGAR consumes {self.text_length} text chars, text has {len(text)}"
+            )
+        p = 0
+        t = 0
+        for length, op in self.runs:
+            if op in (CigarOp.MATCH, CigarOp.MISMATCH):
+                for i in range(length):
+                    same = pattern[p + i] == text[t + i]
+                    if op is CigarOp.MATCH and not same:
+                        raise ValueError(
+                            f"'=' run covers mismatching chars at pattern {p + i}"
+                        )
+                    if op is CigarOp.MISMATCH and same:
+                        raise ValueError(
+                            f"'X' run covers matching chars at pattern {p + i}"
+                        )
+            if op.consumes_pattern:
+                p += length
+            if op.consumes_text:
+                t += length
+
+    def score(self, match: int = 0, mismatch: int = 1, gap: int = 1) -> int:
+        """Linear-gap score/cost of the CIGAR (defaults give edit distance)."""
+        total = 0
+        for length, op in self.runs:
+            if op is CigarOp.MATCH:
+                total += match * length
+            elif op in (CigarOp.MISMATCH,):
+                total += mismatch * length
+            elif op in (CigarOp.INSERTION, CigarOp.DELETION):
+                total += gap * length
+        return total
+
+    def affine_score(
+        self,
+        match: int = 2,
+        mismatch: int = -4,
+        gap_open: int = -4,
+        gap_extend: int = -2,
+    ) -> int:
+        """Affine-gap alignment score of the CIGAR (KSW2-style defaults)."""
+        total = 0
+        for length, op in self.runs:
+            if op is CigarOp.MATCH:
+                total += match * length
+            elif op is CigarOp.MISMATCH:
+                total += mismatch * length
+            elif op in (CigarOp.INSERTION, CigarOp.DELETION):
+                total += gap_open + gap_extend * (length - 1)
+        return total
+
+
+def cigar_from_ops(ops: Sequence[CigarOp]) -> Cigar:
+    """Convenience wrapper around :meth:`Cigar.from_ops`."""
+    return Cigar.from_ops(ops)
+
+
+def edit_distance_of_cigar(cigar: Cigar) -> int:
+    """Unit-cost edit distance implied by a CIGAR (module-level helper)."""
+    return cigar.edit_distance

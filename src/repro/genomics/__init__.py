@@ -1,0 +1,50 @@
+"""Genomics substrate: synthetic genomes, read simulation and sequence I/O.
+
+The paper evaluates on 500 PBSIM2-simulated PacBio reads from the human
+genome.  This package provides the equivalent synthetic pipeline: a
+repeat-structured reference generator, a PBSIM2-like long-read simulator,
+an Illumina-like short-read simulator and FASTA/FASTQ readers/writers.
+"""
+
+from repro.genomics.sequences import (
+    DNA_ALPHABET,
+    encode_sequence,
+    decode_sequence,
+    gc_content,
+    kmers,
+    random_dna,
+    reverse_complement,
+)
+from repro.genomics.errors import ErrorModel, mutate_sequence
+from repro.genomics.genome import SyntheticGenome
+from repro.genomics.read_simulator import (
+    IlluminaSimulator,
+    PacBioSimulator,
+    SimulatedRead,
+)
+from repro.genomics.fasta import (
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+__all__ = [
+    "DNA_ALPHABET",
+    "random_dna",
+    "reverse_complement",
+    "encode_sequence",
+    "decode_sequence",
+    "gc_content",
+    "kmers",
+    "ErrorModel",
+    "mutate_sequence",
+    "SyntheticGenome",
+    "PacBioSimulator",
+    "IlluminaSimulator",
+    "SimulatedRead",
+    "read_fasta",
+    "write_fasta",
+    "read_fastq",
+    "write_fastq",
+]

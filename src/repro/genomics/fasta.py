@@ -1,0 +1,85 @@
+"""Minimal FASTA / FASTQ readers and writers.
+
+Only the subset of the formats the examples and the experiment harness need
+is supported: multi-record files, arbitrary line wrapping on read, optional
+wrapping on write, and Phred+33 quality strings for FASTQ.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+__all__ = ["read_fasta", "write_fasta", "read_fastq", "write_fastq", "iter_fasta"]
+
+PathLike = Union[str, Path]
+
+
+def iter_fasta(path: PathLike) -> Iterator[Tuple[str, str]]:
+    """Yield ``(name, sequence)`` records from a FASTA file."""
+    name = None
+    chunks: List[str] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield name, "".join(chunks)
+                name = line[1:].split()[0]
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError(f"FASTA file {path} does not start with '>'")
+                chunks.append(line.upper())
+        if name is not None:
+            yield name, "".join(chunks)
+
+
+def read_fasta(path: PathLike) -> Dict[str, str]:
+    """Read a whole FASTA file into an ordered ``{name: sequence}`` dict."""
+    return dict(iter_fasta(path))
+
+
+def write_fasta(
+    path: PathLike, records: Union[Dict[str, str], Iterable[Tuple[str, str]]], *, width: int = 80
+) -> None:
+    """Write records to a FASTA file, wrapping sequences at ``width`` columns."""
+    items = records.items() if isinstance(records, dict) else records
+    with open(path, "w", encoding="ascii") as handle:
+        for name, sequence in items:
+            handle.write(f">{name}\n")
+            if width <= 0:
+                handle.write(sequence + "\n")
+                continue
+            for start in range(0, len(sequence), width):
+                handle.write(sequence[start : start + width] + "\n")
+
+
+def read_fastq(path: PathLike) -> List[Tuple[str, str, str]]:
+    """Read a FASTQ file into a list of ``(name, sequence, quality)`` tuples."""
+    records: List[Tuple[str, str, str]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    i = 0
+    while i + 4 <= len(lines):
+        if not lines[i]:
+            break
+        header, seq, plus, qual = lines[i : i + 4]
+        if not header.startswith("@") or not plus.startswith("+"):
+            raise ValueError(f"malformed FASTQ record at line {i + 1} of {path}")
+        if len(seq) != len(qual):
+            raise ValueError(f"sequence/quality length mismatch at line {i + 1} of {path}")
+        records.append((header[1:].split()[0], seq.upper(), qual))
+        i += 4
+    return records
+
+
+def write_fastq(path: PathLike, records: Iterable[Tuple[str, str, str]]) -> None:
+    """Write ``(name, sequence, quality)`` records to a FASTQ file."""
+    with open(path, "w", encoding="ascii") as handle:
+        for name, sequence, quality in records:
+            if len(sequence) != len(quality):
+                raise ValueError(f"sequence/quality length mismatch for record {name}")
+            handle.write(f"@{name}\n{sequence}\n+\n{quality}\n")

@@ -1,0 +1,36 @@
+"""GPU execution-model simulator (stands in for the paper's NVIDIA A6000).
+
+No GPU (and no CuPy/Numba) is available in this environment, so the GPU
+evaluation is reproduced with an execution-model simulator:
+
+* :mod:`repro.gpu.device` — hardware descriptions of the paper's devices
+  (NVIDIA A6000 GPU, dual-socket Xeon Gold 5118 CPU) and a roofline-style
+  performance model.
+* :mod:`repro.gpu.kernel` — the cost model of the GenASM GPU kernel: how
+  many bitvector operations, shared-memory bytes and global-memory bytes
+  one (read, candidate) pair generates, derived from the *measured*
+  counters of the functional CPU implementation (so the simulated kernel
+  is always bit-exact with the CPU result).
+* :mod:`repro.gpu.simulator` — occupancy calculation and batch execution:
+  the baseline kernel's DP working set does not fit in shared memory and
+  becomes global-bandwidth-bound, while the improved kernel's 10–30×
+  smaller working set stays on-chip and becomes compute-bound — the
+  mechanism behind the paper's GPU speedups.
+"""
+
+from repro.gpu.device import A6000, XEON_GOLD_5118, CpuSpec, GpuSpec
+from repro.gpu.kernel import GenASMKernelSpec, KernelCost, PairProfile
+from repro.gpu.simulator import GpuSimulator, CpuModel, SimulationResult
+
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "A6000",
+    "XEON_GOLD_5118",
+    "KernelCost",
+    "PairProfile",
+    "GenASMKernelSpec",
+    "GpuSimulator",
+    "CpuModel",
+    "SimulationResult",
+]

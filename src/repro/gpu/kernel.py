@@ -1,0 +1,140 @@
+"""Cost model of the GenASM GPU kernel.
+
+The GPU implementation in the paper assigns one alignment problem (one
+(read, candidate-region) pair) to one warp; the warp iterates over the
+pair's windows, keeping the DP traceback state either in shared memory
+(when it fits — the improved algorithm) or in global memory (the baseline,
+whose working set is an order of magnitude larger).
+
+Rather than hand-estimating operation counts, the kernel cost is *profiled*
+from the functional CPU implementation: the same :class:`AccessCounter`
+that experiment E4 uses records how many DP entries were computed, how many
+DP-table bytes were read and written, and how many traceback steps were
+taken for each pair.  The cost model converts those measured quantities
+into device work:
+
+* ``compute_ops`` — 64-bit bitvector operations (a DP entry costs a fixed
+  number of AND/OR/shift operations, a traceback step a fixed number of bit
+  probes);
+* ``onchip_bytes`` / ``offchip_bytes`` — DP-table traffic, routed to shared
+  or global memory depending on whether the per-problem working set fits
+  the per-block shared-memory budget;
+* ``io_bytes`` — unavoidable global traffic: the sequences in, the CIGAR
+  out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.aligner import GenASMAligner
+from repro.core.alignment import Alignment
+from repro.core.config import GenASMConfig
+from repro.core.metrics import AccessCounter
+from repro.gpu.device import GpuSpec
+
+__all__ = ["KernelCost", "PairProfile", "GenASMKernelSpec"]
+
+#: 64-bit ALU operations per DP entry of the GenASM-DC inner loop
+#: (shift, OR with the pattern mask, three ANDs, plus loop/bookkeeping).
+OPS_PER_DC_ENTRY = 8.0
+#: Bit probes and branches per traceback step.
+OPS_PER_TB_STEP = 12.0
+#: Fixed per-window overhead (pattern-mask construction, window setup).
+OPS_PER_WINDOW = 96.0
+
+
+@dataclass
+class KernelCost:
+    """Device-work summary for one alignment problem."""
+
+    compute_ops: float = 0.0
+    dp_bytes: float = 0.0
+    io_bytes: float = 0.0
+    working_set_bytes: float = 0.0
+
+    def merge(self, other: "KernelCost") -> "KernelCost":
+        self.compute_ops += other.compute_ops
+        self.dp_bytes += other.dp_bytes
+        self.io_bytes += other.io_bytes
+        self.working_set_bytes = max(self.working_set_bytes, other.working_set_bytes)
+        return self
+
+
+@dataclass
+class PairProfile:
+    """Functional result plus cost of one (pattern, text) pair."""
+
+    alignment: Alignment
+    cost: KernelCost
+
+
+@dataclass
+class GenASMKernelSpec:
+    """The GenASM kernel in a given configuration (baseline or improved).
+
+    ``profile_pair`` runs the functional implementation once, so the
+    simulator's outputs (edit distances, CIGARs) are always identical to
+    the CPU library's, and the cost numbers reflect exactly what that
+    configuration stores and touches.
+    """
+
+    config: GenASMConfig = field(default_factory=GenASMConfig)
+    name: str = "genasm-gpu"
+
+    def aligner(self) -> GenASMAligner:
+        """Functional aligner backing this kernel."""
+        return GenASMAligner(self.config, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    def profile_pair(
+        self, pattern: str, text: str, aligner: Optional[GenASMAligner] = None
+    ) -> PairProfile:
+        """Align one pair and derive its kernel cost."""
+        aligner = aligner or self.aligner()
+        counter = AccessCounter()
+        alignment = aligner.align(pattern, text, counter=counter)
+        windows = max(1, counter.windows)
+        compute = (
+            counter.entries_computed * OPS_PER_DC_ENTRY
+            + counter.tb_steps * OPS_PER_TB_STEP
+            + windows * OPS_PER_WINDOW
+        )
+        io_bytes = float(len(pattern) + len(text) + 2 * len(alignment.cigar.runs) + 64)
+        # The shared-memory requirement is the statically allocated per-problem
+        # window buffer implied by the configuration (what a CUDA kernel would
+        # reserve per block), not the occasional worst-case window that falls
+        # back to a larger error budget.
+        cost = KernelCost(
+            compute_ops=float(compute),
+            dp_bytes=float(counter.total_bytes),
+            io_bytes=io_bytes,
+            working_set_bytes=float(
+                alignment.metadata.get(
+                    "model_window_bytes", alignment.metadata.get("peak_window_bytes", 0.0)
+                )
+            ),
+        )
+        return PairProfile(alignment=alignment, cost=cost)
+
+    def profile_batch(self, pairs: List[tuple]) -> List[PairProfile]:
+        """Profile a batch of (pattern, text) pairs with one shared aligner."""
+        aligner = self.aligner()
+        return [self.profile_pair(p, t, aligner) for p, t in pairs]
+
+    # ------------------------------------------------------------------ #
+    def fits_in_shared(self, spec: GpuSpec, working_set_bytes: float) -> bool:
+        """Does one problem's DP working set fit a block's shared-memory share?
+
+        The kernel wants at least :attr:`GpuSpec.max_blocks_per_sm` resident
+        blocks per SM for latency hiding; a problem "fits" when that many
+        copies of its working set fit the SM's shared memory (and a single
+        copy respects the per-block limit).
+        """
+        if working_set_bytes <= 0:
+            return True
+        if working_set_bytes > spec.max_shared_per_block:
+            return False
+        target_blocks = min(spec.max_blocks_per_sm, 8)
+        return working_set_bytes * target_blocks <= spec.shared_memory_per_sm

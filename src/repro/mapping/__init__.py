@@ -1,0 +1,29 @@
+"""Minimizer-based read mapping (the minimap2 role in the paper's pipeline).
+
+The paper obtains candidate (read, reference) pairs by running minimap2
+with ``-P`` (report all chains) and aligning every candidate location with
+every aligner under test.  This package provides the same artefact:
+
+* :mod:`repro.mapping.minimizers` — (w, k) minimizer extraction;
+* :mod:`repro.mapping.index` — a hash index of reference minimizers;
+* :mod:`repro.mapping.chaining` — colinear anchor chaining;
+* :mod:`repro.mapping.mapper` — the end-to-end mapper producing
+  :class:`~repro.mapping.mapper.CandidateMapping` objects (all chains, not
+  just the best one).
+"""
+
+from repro.mapping.minimizers import Minimizer, extract_minimizers
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.chaining import Anchor, Chain, chain_anchors
+from repro.mapping.mapper import CandidateMapping, Mapper
+
+__all__ = [
+    "Minimizer",
+    "extract_minimizers",
+    "MinimizerIndex",
+    "Anchor",
+    "Chain",
+    "chain_anchors",
+    "CandidateMapping",
+    "Mapper",
+]

@@ -1,0 +1,114 @@
+"""(w, k) minimizer extraction.
+
+A *minimizer* is the k-mer with the smallest hash value inside each window
+of ``w`` consecutive k-mers (Roberts et al. 2004); indexing only minimizers
+shrinks the index by roughly ``2/(w+1)`` while guaranteeing that any two
+sequences sharing a sufficiently long exact stretch share a minimizer.
+Canonical (strand-independent) minimizers are used, as in minimap2: each
+k-mer is hashed together with its reverse complement and the smaller of the
+two decides the stored strand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.genomics.sequences import encode_sequence
+
+__all__ = ["Minimizer", "extract_minimizers", "kmer_hashes"]
+
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+_HASH_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """One selected minimizer occurrence."""
+
+    hash: int
+    position: int
+    strand: int  # +1 forward, -1 reverse-complement canonical
+
+
+def _mix(values: np.ndarray) -> np.ndarray:
+    """Invertible 64-bit finaliser (splitmix-style) to decorrelate k-mer codes."""
+    v = values.astype(np.uint64)
+    v = (v * _HASH_MULTIPLIER) & _HASH_MASK
+    v ^= v >> np.uint64(31)
+    v = (v * np.uint64(0xBF58476D1CE4E5B9)) & _HASH_MASK
+    v ^= v >> np.uint64(27)
+    v = (v * np.uint64(0x94D049BB133111EB)) & _HASH_MASK
+    v ^= v >> np.uint64(31)
+    return v
+
+
+def kmer_hashes(sequence: str, k: int) -> np.ndarray:
+    """Canonical hashes of every k-mer of ``sequence`` (vectorised).
+
+    Returns an array of length ``len(sequence) - k + 1``; the sign of the
+    canonical choice is returned separately by :func:`extract_minimizers`.
+    """
+    if k <= 0 or k > 31:
+        raise ValueError("k must be in 1..31")
+    codes = encode_sequence(sequence).astype(np.uint64)
+    n = len(sequence) - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.uint64)
+    # Packed 2-bit forward codes via a rolling polynomial evaluation.
+    forward = np.zeros(n, dtype=np.uint64)
+    reverse = np.zeros(n, dtype=np.uint64)
+    for offset in range(k):
+        forward = (forward << np.uint64(2)) | codes[offset : offset + n]
+        comp = np.uint64(3) - codes[k - 1 - offset : k - 1 - offset + n]
+        reverse = (reverse << np.uint64(2)) | comp
+    fwd_hash = _mix(forward)
+    rev_hash = _mix(reverse)
+    return np.minimum(fwd_hash, rev_hash)
+
+
+def extract_minimizers(sequence: str, k: int = 15, w: int = 10) -> List[Minimizer]:
+    """Extract (w, k) canonical minimizers of ``sequence``.
+
+    Consecutive duplicate selections are collapsed, so each returned
+    occurrence is unique by position.
+    """
+    if k <= 0 or k > 31:
+        raise ValueError("k must be in 1..31")
+    if w <= 0:
+        raise ValueError("w must be positive")
+    n_kmers = len(sequence) - k + 1
+    if n_kmers <= 0:
+        return []
+    codes = encode_sequence(sequence).astype(np.uint64)
+    forward = np.zeros(n_kmers, dtype=np.uint64)
+    reverse = np.zeros(n_kmers, dtype=np.uint64)
+    for offset in range(k):
+        forward = (forward << np.uint64(2)) | codes[offset : offset + n_kmers]
+        comp = np.uint64(3) - codes[k - 1 - offset : k - 1 - offset + n_kmers]
+        reverse = (reverse << np.uint64(2)) | comp
+    fwd_hash = _mix(forward)
+    rev_hash = _mix(reverse)
+    canonical = np.minimum(fwd_hash, rev_hash)
+    strands = np.where(fwd_hash <= rev_hash, 1, -1)
+
+    window = min(w, n_kmers)
+    # Vectorised sliding-window argmin: one row per window of `window` k-mers.
+    views = np.lib.stride_tricks.sliding_window_view(canonical, window)
+    positions = views.argmin(axis=1) + np.arange(views.shape[0])
+    # Collapse consecutive windows that select the same k-mer occurrence.
+    unique_positions = np.unique(positions)
+
+    minimizers: List[Minimizer] = []
+    for position in unique_positions:
+        pos = int(position)
+        minimizers.append(
+            Minimizer(
+                hash=int(canonical[pos]),
+                position=pos,
+                strand=int(strands[pos]),
+            )
+        )
+    return minimizers

@@ -1,0 +1,5 @@
+"""Batch execution utilities for the CPU evaluation."""
+
+from repro.parallel.executor import BatchExecutor, BatchResult, Stopwatch, chunk_items
+
+__all__ = ["BatchExecutor", "BatchResult", "Stopwatch", "chunk_items"]

@@ -1,0 +1,170 @@
+"""Tests for the baseline aligners (NW oracle, Gotoh, Edlib-like, KSW2-like)."""
+
+import pytest
+
+from repro.baselines.edlib_like import EdlibLikeAligner, myers_edit_distance
+from repro.baselines.gotoh import ScoringScheme, gotoh_align, gotoh_score
+from repro.baselines.ksw2 import Ksw2Aligner, ksw2_diff_score, ksw2_global_score
+from repro.baselines.needleman_wunsch import (
+    edit_distance,
+    needleman_wunsch,
+    prefix_edit_distance,
+    semiglobal_edit_distance,
+)
+from tests.conftest import mutate, random_dna
+
+
+class TestNeedlemanWunsch:
+    def test_known_distances(self):
+        assert edit_distance("kitten".upper(), "sitting".upper()) == 3
+        assert edit_distance("", "ACGT") == 4
+        assert edit_distance("ACGT", "ACGT") == 0
+
+    def test_prefix_distance_ignores_text_suffix(self):
+        assert prefix_edit_distance("ACGT", "ACGTTTTT") == 0
+
+    def test_semiglobal_ignores_both_ends(self):
+        assert semiglobal_edit_distance("CGT", "AAACGTAAA") == 0
+
+    @pytest.mark.parametrize("mode", ["global", "prefix", "infix"])
+    def test_alignment_cigar_is_consistent(self, rng, mode):
+        for _ in range(20):
+            pattern = random_dna(rng, rng.randint(1, 25))
+            text = random_dna(rng, rng.randint(1, 30))
+            alignment = needleman_wunsch(pattern, text, mode)
+            consumed = text[alignment.text_start : alignment.text_end]
+            alignment.cigar.validate(pattern, consumed, partial_text=False)
+            assert alignment.cigar.edit_distance == alignment.edit_distance
+
+    def test_global_alignment_consumes_whole_text(self):
+        alignment = needleman_wunsch("ACGT", "AGGTC", "global")
+        assert alignment.text_start == 0
+        assert alignment.text_end == 5
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            needleman_wunsch("A", "A", "banana")
+
+
+class TestGotoh:
+    def test_scoring_scheme_validation(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=-1)
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=1)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_open=-1, gap_extend=-2)
+
+    def test_perfect_match_score(self):
+        assert gotoh_score("ACGT", "ACGT") == 8
+
+    def test_single_gap_cheaper_than_two(self):
+        scheme = ScoringScheme()
+        # One 2-base gap: go + ge = -6; two separate 1-base gaps would be -8.
+        alignment = gotoh_align("ACGTACGT", "ACACGT"[:6], scheme)
+        assert alignment.score == alignment.cigar.affine_score(
+            scheme.match, scheme.mismatch, scheme.gap_open, scheme.gap_extend
+        )
+
+    def test_alignment_score_matches_cigar_score(self, rng):
+        scheme = ScoringScheme()
+        for _ in range(25):
+            a = random_dna(rng, rng.randint(1, 20))
+            b = random_dna(rng, rng.randint(1, 20))
+            alignment = gotoh_align(a, b, scheme)
+            assert alignment.score == alignment.cigar.affine_score(
+                scheme.match, scheme.mismatch, scheme.gap_open, scheme.gap_extend
+            )
+
+    def test_empty_inputs(self):
+        assert gotoh_score("", "") == 0
+
+
+class TestEdlibLike:
+    def test_distance_modes_match_oracle(self, rng):
+        for _ in range(40):
+            a = random_dna(rng, rng.randint(1, 40))
+            b = random_dna(rng, rng.randint(1, 45))
+            assert myers_edit_distance(a, b, "global") == edit_distance(a, b)
+            assert myers_edit_distance(a, b, "prefix") == prefix_edit_distance(a, b)
+            assert myers_edit_distance(a, b, "infix") == semiglobal_edit_distance(a, b)
+
+    def test_max_distance_cutoff(self):
+        assert myers_edit_distance("AAAA", "TTTT", "global", max_distance=2) is None
+        assert myers_edit_distance("AAAA", "AAAT", "global", max_distance=2) == 1
+
+    def test_empty_inputs(self):
+        assert myers_edit_distance("", "ACG", "global") == 3
+        assert myers_edit_distance("ACG", "", "global") == 3
+        assert myers_edit_distance("", "ACG", "infix") == 0
+
+    def test_long_pattern_multiword(self, rng):
+        # Patterns longer than 64 exercise the multi-word (big integer) path.
+        a = random_dna(rng, 200)
+        b = mutate(rng, a, 12)
+        assert myers_edit_distance(a, b, "global") == edit_distance(a, b)
+
+    @pytest.mark.parametrize("mode", ["global", "prefix", "infix"])
+    def test_alignment_is_optimal_and_valid(self, rng, mode):
+        aligner = EdlibLikeAligner(mode)
+        for _ in range(20):
+            a = random_dna(rng, rng.randint(1, 40))
+            b = random_dna(rng, rng.randint(1, 45))
+            alignment = aligner.align(a, b)
+            consumed = b[alignment.text_start : alignment.text_end]
+            alignment.cigar.validate(a, consumed, partial_text=False)
+            assert alignment.edit_distance == needleman_wunsch(a, b, mode).edit_distance
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            EdlibLikeAligner("bogus")
+
+
+class TestKsw2:
+    def test_score_matches_gotoh(self, rng):
+        scheme = ScoringScheme()
+        aligner = Ksw2Aligner(scheme)
+        for _ in range(30):
+            a = random_dna(rng, rng.randint(1, 30))
+            b = random_dna(rng, rng.randint(1, 30))
+            assert aligner.score(a, b) == gotoh_score(a, b, scheme)
+
+    def test_difference_recurrence_matches_direct(self, rng):
+        scheme = ScoringScheme()
+        for _ in range(20):
+            a = random_dna(rng, rng.randint(1, 25))
+            b = random_dna(rng, rng.randint(1, 25))
+            assert ksw2_diff_score(a, b, scheme) == gotoh_score(a, b, scheme)
+
+    def test_alignment_cigar_scores_back_to_dp_score(self, rng):
+        scheme = ScoringScheme()
+        aligner = Ksw2Aligner(scheme)
+        for _ in range(20):
+            a = random_dna(rng, rng.randint(1, 30))
+            b = random_dna(rng, rng.randint(1, 30))
+            alignment = aligner.align(a, b)
+            alignment.cigar.validate(a, b, partial_text=False)
+            assert alignment.score == alignment.cigar.affine_score(
+                scheme.match, scheme.mismatch, scheme.gap_open, scheme.gap_extend
+            )
+
+    def test_banded_alignment_on_similar_sequences(self, rng):
+        scheme = ScoringScheme()
+        banded = Ksw2Aligner(scheme, band_width=32)
+        for _ in range(10):
+            a = random_dna(rng, rng.randint(80, 160))
+            b = mutate(rng, a, rng.randint(0, 8))
+            assert banded.score(a, b) == gotoh_score(a, b, scheme)
+
+    def test_empty_inputs(self):
+        aligner = Ksw2Aligner()
+        assert aligner.score("", "") == 0
+        assert aligner.align("", "ACG").cigar.text_length == 3
+        assert aligner.align("ACG", "").cigar.pattern_length == 3
+
+    def test_convenience_wrapper(self):
+        assert ksw2_global_score("ACGT", "ACGT") == 8
+
+    def test_invalid_band_raises(self):
+        with pytest.raises(ValueError):
+            Ksw2Aligner(band_width=0)

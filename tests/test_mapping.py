@@ -1,0 +1,161 @@
+"""Tests for minimizer extraction, indexing, chaining and the mapper."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.genome import SyntheticGenome
+from repro.genomics.read_simulator import PacBioSimulator
+from repro.genomics.sequences import random_dna, reverse_complement
+from repro.mapping.chaining import Anchor, chain_anchors
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.mapper import Mapper
+from repro.mapping.minimizers import extract_minimizers, kmer_hashes
+
+
+class TestMinimizers:
+    def test_extraction_positions_in_range(self):
+        seq = random_dna(2_000, np.random.default_rng(0))
+        minimizers = extract_minimizers(seq, k=15, w=10)
+        assert minimizers
+        assert all(0 <= m.position <= len(seq) - 15 for m in minimizers)
+
+    def test_density_roughly_two_over_w_plus_one(self):
+        seq = random_dna(50_000, np.random.default_rng(1))
+        w = 10
+        minimizers = extract_minimizers(seq, k=15, w=w)
+        density = len(minimizers) / (len(seq) - 15 + 1)
+        assert 1.0 / (w + 1) < density < 4.0 / (w + 1)
+
+    def test_canonical_hashes_strand_invariant(self):
+        seq = random_dna(300, np.random.default_rng(2))
+        fwd = set(int(h) for h in kmer_hashes(seq, 15))
+        rev = set(int(h) for h in kmer_hashes(reverse_complement(seq), 15))
+        assert fwd == rev
+
+    def test_shared_minimizers_between_overlapping_sequences(self):
+        seq = random_dna(3_000, np.random.default_rng(3))
+        a = set(m.hash for m in extract_minimizers(seq[:2_000]))
+        b = set(m.hash for m in extract_minimizers(seq[1_000:]))
+        assert len(a & b) > 10
+
+    def test_short_sequence_returns_empty(self):
+        assert extract_minimizers("ACGT", k=15, w=10) == []
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            extract_minimizers("ACGT" * 10, k=0)
+        with pytest.raises(ValueError):
+            extract_minimizers("ACGT" * 10, k=15, w=0)
+        with pytest.raises(ValueError):
+            kmer_hashes("ACGT" * 10, 40)
+
+
+class TestIndex:
+    def test_lookup_finds_own_minimizers(self):
+        genome = SyntheticGenome.random({"a": 20_000}, seed=5, repeat_fraction=0.0)
+        index = MinimizerIndex.build(genome)
+        minimizers = extract_minimizers(genome.sequence("a"))
+        hits = sum(1 for m in minimizers[:50] if index.lookup(m.hash))
+        assert hits >= 45
+
+    def test_frequency_filter_drops_repetitive_seeds(self):
+        genome = SyntheticGenome(chromosomes={"a": "ACGTACGTAC" * 2_000})
+        index = MinimizerIndex.build(genome, max_occurrences=4)
+        assert index.dropped_minimizers > 0
+
+    def test_add_after_finalise_raises(self):
+        genome = SyntheticGenome.random({"a": 5_000}, seed=5, repeat_fraction=0.0)
+        index = MinimizerIndex.build(genome)
+        with pytest.raises(RuntimeError):
+            index.add_sequence("b", "ACGT" * 100)
+
+    def test_contains_and_len(self):
+        genome = SyntheticGenome.random({"a": 5_000}, seed=5, repeat_fraction=0.0)
+        index = MinimizerIndex.build(genome)
+        assert len(index) > 0
+        some_hash = next(iter(extract_minimizers(genome.sequence("a")))).hash
+        assert some_hash in index
+
+
+class TestChaining:
+    def test_colinear_anchors_form_one_chain(self):
+        anchors = [Anchor(query_pos=i * 50, ref_pos=1_000 + i * 50, strand=1) for i in range(10)]
+        chains = chain_anchors(anchors, min_chain_score=30)
+        assert len(chains) == 1
+        assert len(chains[0]) == 10
+
+    def test_off_diagonal_anchors_are_split(self):
+        near = [Anchor(query_pos=i * 50, ref_pos=i * 50, strand=1) for i in range(8)]
+        far = [Anchor(query_pos=i * 50, ref_pos=500_000 + i * 50, strand=1) for i in range(8)]
+        chains = chain_anchors(near + far, min_chain_score=30)
+        assert len(chains) == 2
+
+    def test_low_scoring_chains_filtered(self):
+        anchors = [Anchor(query_pos=0, ref_pos=0, strand=1)]
+        assert chain_anchors(anchors, min_chain_score=40) == []
+
+    def test_empty_input(self):
+        assert chain_anchors([]) == []
+
+    def test_chain_span_properties(self):
+        anchors = [Anchor(query_pos=i * 20, ref_pos=100 + i * 20, strand=1) for i in range(5)]
+        chain = chain_anchors(anchors, min_chain_score=10, min_chain_anchors=2)[0]
+        assert chain.query_start == 0
+        assert chain.ref_start == 100
+        assert chain.ref_end == 100 + 4 * 20 + 15
+
+
+class TestMapper:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        genome = SyntheticGenome.random(
+            {"chr1": 80_000, "chr2": 40_000}, seed=6, repeat_fraction=0.05, repeat_length=1_000
+        )
+        reads = PacBioSimulator(mean_length=1_500, std_length=200, seed=8).simulate(genome, 12)
+        mapper = Mapper(genome)
+        return genome, reads, mapper
+
+    def test_primary_candidates_hit_true_location(self, pipeline):
+        genome, reads, mapper = pipeline
+        correct = 0
+        for read in reads:
+            candidates = mapper.map_read(read)
+            if not candidates:
+                continue
+            best = candidates[0]
+            if (
+                best.chrom == read.chrom
+                and best.strand == read.strand
+                and abs(best.ref_start - read.start) < 300
+            ):
+                correct += 1
+        assert correct >= len(reads) - 2
+
+    def test_candidate_regions_cover_read_length(self, pipeline):
+        genome, reads, mapper = pipeline
+        for read in reads[:5]:
+            for candidate in mapper.map_read(read):
+                assert candidate.span >= 0.8 * read.length
+
+    def test_candidate_region_sequence_orientation(self, pipeline):
+        genome, reads, mapper = pipeline
+        read = reads[0]
+        candidates = mapper.map_read(read)
+        assert candidates
+        pattern, text = mapper.candidate_region_sequence(candidates[0], read.sequence)
+        assert len(text) == candidates[0].span
+        if candidates[0].strand == "+":
+            assert pattern == read.sequence
+        else:
+            assert pattern == reverse_complement(read.sequence)
+
+    def test_all_chains_reports_at_least_primary(self, pipeline):
+        genome, reads, mapper = pipeline
+        total = mapper.map_reads(reads)
+        assert len(total) >= sum(1 for r in reads if mapper.map_read(r))
+
+    def test_unmappable_read_returns_empty(self, pipeline):
+        genome, _, mapper = pipeline
+        random_read = random_dna(500, np.random.default_rng(99))
+        # A random sequence should rarely chain anywhere on this small genome.
+        assert len(mapper.map_sequence("random", random_read)) <= 1

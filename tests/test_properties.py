@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for the core alignment invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.edlib_like import myers_edit_distance
+from repro.baselines.needleman_wunsch import (
+    edit_distance,
+    prefix_edit_distance,
+    semiglobal_edit_distance,
+)
+from repro.core.aligner import GenASMAligner
+from repro.core.config import GenASMConfig
+from repro.core.genasm_dc import genasm_distance_only
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=48)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=48)
+
+_improved = GenASMAligner()
+_baseline = GenASMAligner(GenASMConfig.baseline())
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna_nonempty, dna_nonempty)
+def test_genasm_distance_matches_dp_oracle(pattern, text):
+    assert genasm_distance_only(pattern, text) == semiglobal_edit_distance(pattern, text)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna_nonempty, dna_nonempty)
+def test_myers_matches_dp_oracle_all_modes(pattern, text):
+    assert myers_edit_distance(pattern, text, "global") == edit_distance(pattern, text)
+    assert myers_edit_distance(pattern, text, "prefix") == prefix_edit_distance(pattern, text)
+    assert myers_edit_distance(pattern, text, "infix") == semiglobal_edit_distance(pattern, text)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dna_nonempty, dna_nonempty)
+def test_single_window_alignment_is_optimal(pattern, text):
+    alignment = _improved.align(pattern, text)
+    alignment.validate()
+    assert alignment.edit_distance == prefix_edit_distance(pattern, text)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_nonempty, dna_nonempty)
+def test_improved_equals_baseline(pattern, text):
+    assert (
+        _improved.align(pattern, text).edit_distance
+        == _baseline.align(pattern, text).edit_distance
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_nonempty)
+def test_self_alignment_is_exact(pattern):
+    alignment = _improved.align(pattern, pattern)
+    assert alignment.edit_distance == 0
+    assert alignment.cigar.matches == len(pattern)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_nonempty, dna_nonempty)
+def test_distance_symmetry_upper_bound(pattern, text):
+    # Semi-global distance is at most the global distance, which is symmetric.
+    semi = genasm_distance_only(pattern, text)
+    assert semi <= edit_distance(pattern, text)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_nonempty, dna_nonempty, dna_nonempty)
+def test_triangle_inequality_on_global_distance(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_nonempty, st.text(alphabet="ACGT", min_size=0, max_size=16))
+def test_appending_text_never_increases_prefix_distance(pattern, extra):
+    base = pattern
+    assert prefix_edit_distance(pattern, base + extra) <= prefix_edit_distance(pattern, base)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_nonempty, dna_nonempty)
+def test_cigar_consumes_whole_pattern(pattern, text):
+    alignment = _improved.align(pattern, text)
+    assert alignment.cigar.pattern_length == len(pattern)
+    assert alignment.cigar.text_length <= len(text)
