@@ -2,7 +2,9 @@
 
 Benchmarks the per-pair alignment throughput of the improved GenASM CPU
 implementation against the three CPU baselines on the same candidate pairs,
-and reports the speedup rows of experiment E1.
+and reports the speedup rows of experiment E1.  The E1v benchmarks compare
+the batch backends (serial loop vs the vectorized lockstep engine vs a
+multiprocess pool) on the same pairs.
 """
 
 from __future__ import annotations
@@ -11,9 +13,13 @@ import pytest
 
 from repro.baselines.edlib_like import EdlibLikeAligner
 from repro.baselines.ksw2 import Ksw2Aligner
+from repro.batch import BatchAlignmentEngine
 from repro.core.aligner import GenASMAligner
 from repro.core.config import GenASMConfig
-from repro.harness.experiments import run_cpu_speed_experiment
+from repro.harness.experiments import (
+    run_batched_throughput_experiment,
+    run_cpu_speed_experiment,
+)
 
 from conftest import report_rows
 
@@ -57,6 +63,37 @@ def test_bench_ksw2_like_cpu(benchmark, small_workload):
         _align_all, args=(aligner.align, small_workload.pairs), rounds=1, iterations=1
     )
     assert len(result) == small_workload.pair_count
+
+
+@pytest.mark.bench
+def test_bench_genasm_vectorized_cpu(benchmark, workload):
+    """The lockstep SoA engine over the same pairs as the scalar benchmark."""
+    engine = BatchAlignmentEngine(GenASMConfig())
+    result = benchmark.pedantic(
+        engine.align_pairs, args=(workload.pairs,), rounds=2, iterations=1
+    )
+    assert len(result) == workload.pair_count
+    # Correctness contract: identical alignments to the scalar path.
+    scalar = GenASMAligner(GenASMConfig(), name="genasm-improved")
+    for (pattern, text), alignment in zip(workload.pairs, result):
+        reference = scalar.align(pattern, text)
+        assert str(alignment.cigar) == str(reference.cigar)
+        assert alignment.edit_distance == reference.edit_distance
+    benchmark.extra_info["pairs"] = workload.pair_count
+
+
+@pytest.mark.bench
+def test_bench_e1v_batch_backends_table(benchmark, small_workload):
+    """E1v: serial vs vectorized vs 2-process backend throughput rows."""
+    rows = benchmark.pedantic(
+        run_batched_throughput_experiment,
+        args=(small_workload,),
+        kwargs={"workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    report_rows(benchmark, rows, keys=("id", "metric", "measured", "identical_results"))
+    assert all(row["identical_results"] for row in rows)
 
 
 @pytest.mark.bench

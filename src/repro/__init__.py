@@ -23,7 +23,12 @@ contribution:
     A SIMT execution-model simulator standing in for the NVIDIA A6000 used
     in the paper, plus GenASM GPU kernels expressed against it.
 ``repro.parallel``
-    Batch execution utilities for the CPU evaluation.
+    Batch execution utilities for the CPU evaluation: serial, spawn-pool
+    multiprocessing and vectorized backends behind one executor.
+``repro.batch``
+    The vectorized batched-alignment engine: many window pairs evaluated
+    in lockstep as NumPy structure-of-arrays uint64 lanes, byte-identical
+    to the scalar path.
 ``repro.harness``
     Dataset construction, the experiment registry (E1–E5 and ablations)
     and report generation.
@@ -35,10 +40,12 @@ Quickstart::
     print(aln.edit_distance, aln.cigar)
 """
 
+from repro.batch import BatchAlignmentEngine, align_pairs_vectorized
 from repro.core.aligner import GenASMAligner, align_pair
 from repro.core.alignment import Alignment
 from repro.core.cigar import Cigar, CigarOp
 from repro.core.config import GenASMConfig
+from repro.parallel import BatchExecutor
 
 __all__ = [
     "GenASMAligner",
@@ -47,6 +54,9 @@ __all__ = [
     "Cigar",
     "CigarOp",
     "align_pair",
+    "BatchAlignmentEngine",
+    "align_pairs_vectorized",
+    "BatchExecutor",
     "__version__",
 ]
 

@@ -1,0 +1,31 @@
+"""Vectorized batched alignment (lockstep structure-of-arrays GenASM).
+
+``repro.batch`` evaluates many window pairs in lockstep using NumPy
+structure-of-arrays bitvectors — one ``uint64`` lane per pair, band-packed
+per the paper's improvements — replacing the per-pair Python-int hot loop
+for batch workloads.  Results are byte-identical to the scalar path in
+:mod:`repro.core`.
+
+* :class:`BatchAlignmentEngine` / :func:`align_pairs_vectorized` — batch
+  aligner producing :class:`repro.core.alignment.Alignment` objects.
+* :func:`run_dc_wave` / :class:`SoAWave` / :class:`LaneJob` — the lockstep
+  GenASM-DC kernel and its lane layout.
+* :func:`lockstep_stats` — lockstep (SIMT warp divergence) efficiency
+  model shared with :mod:`repro.gpu.simulator`.
+"""
+
+from repro.batch.engine import (
+    BatchAlignmentEngine,
+    align_pairs_vectorized,
+    run_dc_wave,
+)
+from repro.batch.soa import LaneJob, SoAWave, lockstep_stats
+
+__all__ = [
+    "BatchAlignmentEngine",
+    "align_pairs_vectorized",
+    "run_dc_wave",
+    "LaneJob",
+    "SoAWave",
+    "lockstep_stats",
+]

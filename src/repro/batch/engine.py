@@ -1,0 +1,495 @@
+"""Vectorized batched-alignment engine (lockstep GenASM over NumPy lanes).
+
+The scalar pipeline (:mod:`repro.core.windowing`) aligns one window at a
+time with a Python-int hot loop.  For batch workloads the per-step work is
+identical across pairs — the GenASM recurrence is the same five bitvector
+operations regardless of the sequences — so this engine evaluates **many
+window pairs in lockstep**: one ``uint64`` lane per pair, with the DP step
+``(d, j)`` applied to all lanes at once as NumPy array operations.  The
+Python interpreter then executes ``rows × n_max`` steps per *wave* instead
+of ``rows × n`` steps per *pair*, amortising interpreter overhead across
+the wave width.
+
+Equivalence contract
+--------------------
+The engine is not an approximation: it persists exactly the band-packed
+entries the scalar :func:`repro.core.genasm_dc.genasm_dc` would store
+(including the traceback-reachability placeholders), reconstructs a
+:class:`repro.core.genasm_dc.DCTable` per lane, and reuses the scalar
+:func:`repro.core.genasm_tb.genasm_traceback`.  Alignments (CIGAR, edit
+distance, consumed text span) and the E-series accounting (DP accesses,
+stored bytes, windows, rows) are therefore identical to the scalar path —
+the test suite asserts this pair-by-pair on the simulated-read corpus.
+
+Structure
+---------
+* :func:`run_dc_wave` — the lockstep GenASM-DC kernel over a
+  :class:`repro.batch.soa.SoAWave`; returns one ``DCTable`` per lane.
+* :class:`BatchAlignmentEngine` — the windowed aligner: all pairs advance
+  their current window together (one wave per windowing step), lanes whose
+  error budget fails are retried in doubling sub-waves, and finished pairs
+  drop out of subsequent waves.
+
+Patterns wider than 64 characters per window do not fit a ``uint64`` lane;
+such configurations transparently fall back to the scalar aligner (see
+:attr:`BatchAlignmentEngine.vectorizable`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.soa import MAX_LANE_BITS, LaneJob, SoAWave
+from repro.core.alignment import Alignment
+from repro.core.cigar import Cigar, CigarOp
+from repro.core.config import GenASMConfig
+from repro.core.genasm_dc import DCTable
+from repro.core.genasm_tb import genasm_traceback
+from repro.core.improvements import reachable_column_start
+from repro.core.metrics import AccessCounter, MemoryFootprint
+from repro.core.windowing import align_window
+
+__all__ = ["BatchAlignmentEngine", "run_dc_wave", "align_pairs_vectorized"]
+
+_U1 = np.uint64(1)
+_U0 = np.uint64(0)
+
+
+def run_dc_wave(
+    wave: SoAWave,
+    *,
+    entry_compression: bool = True,
+    early_termination: bool = True,
+) -> List[DCTable]:
+    """Run GenASM-DC over every lane of ``wave`` in lockstep.
+
+    Returns one :class:`DCTable` per lane with exactly the stored state,
+    ``min_errors``, ``rows_computed`` and access accounting the scalar
+    :func:`repro.core.genasm_dc.genasm_dc` produces for the same inputs.
+    Lanes terminate independently (budget exhausted, or solution found when
+    early termination is on); the wave stops once every lane is done.
+    """
+    L = wave.lanes
+    n_max = wave.n_max
+    traceback_band = wave.traceback_band
+    m, n, k, ones, masks = wave.m, wave.n, wave.k, wave.ones, wave.masks
+    lane_idx = np.arange(L)
+    msb_shift = (m - 1).astype(np.uint64)
+    ones_col = ones[:, None]
+
+    R_prev = np.zeros((L, n_max + 1), dtype=np.uint64)
+    R_cur = np.zeros((L, n_max + 1), dtype=np.uint64)
+
+    rows_computed = np.zeros(L, dtype=np.int64)
+    min_errors = np.full(L, -1, dtype=np.int64)
+    done = np.zeros(L, dtype=bool)
+
+    stored_rows: List[object] = []  # per row: packed R (L, n_max+1) or 4-tuple of (L, n_max)
+    final_cols: List[np.ndarray] = []
+
+    for d in range(wave.k_max + 1):
+        computing = (~done) & (d <= k)
+        if not computing.any():
+            break
+
+        # Column 0: pattern prefixes alignable against the empty text suffix.
+        if d <= MAX_LANE_BITS - 1:
+            row0 = np.where(d < m, (ones << np.uint64(d)) & ones, _U0)
+        else:
+            row0 = np.zeros(L, dtype=np.uint64)
+        R_cur[:, 0] = row0
+
+        # Lockstep scan along the text.  The match chain is a sequential
+        # dependency (value[j] needs value[j-1]), so j stays a Python loop;
+        # everything without that dependency is hoisted out and vectorized
+        # over all columns at once.
+        prev_value = row0
+        if d == 0:
+            for j in range(1, n_max + 1):
+                value = ((prev_value << _U1) & ones) | masks[:, j - 1]
+                R_cur[:, j] = value
+                prev_value = value
+        else:
+            subst_all = (R_prev[:, :-1] << _U1) & ones_col
+            ins_all = (R_prev[:, 1:] << _U1) & ones_col
+            partial = subst_all & ins_all & R_prev[:, :-1]
+            for j in range(1, n_max + 1):
+                value = (((prev_value << _U1) & ones) | masks[:, j - 1]) & partial[:, j - 1]
+                R_cur[:, j] = value
+                prev_value = value
+
+        # Persist the row, band-packed, with the scalar path's placeholder
+        # (all-ones) for pruned / out-of-range columns.
+        if entry_compression:
+            if traceback_band:
+                packed = (R_cur >> wave.band_lo) & wave.band_mask[:, None]
+                stored_rows.append(np.where(wave.store_col, packed, ones_col))
+            else:
+                stored_rows.append(R_cur.copy())
+        else:
+            if d == 0:
+                match_row = R_cur[:, 1:]
+                subst_row = ins_row = del_row = np.broadcast_to(ones_col, (L, n_max))
+            else:
+                match_row = ((R_cur[:, :-1] << _U1) & ones_col) | masks
+                subst_row, ins_row, del_row = subst_all, ins_all, R_prev[:, :-1]
+            if traceback_band:
+                lo_q = wave.band_lo[:, 1:]
+                mask_q = wave.band_mask[:, None]
+                keep = wave.store_col[:, 1:]
+                stored_rows.append(
+                    tuple(
+                        np.where(keep, (x >> lo_q) & mask_q, ones_col)
+                        for x in (match_row, subst_row, ins_row, del_row)
+                    )
+                )
+            else:
+                stored_rows.append(
+                    tuple(np.array(x) for x in (match_row, subst_row, ins_row, del_row))
+                )
+
+        final_val = R_cur[lane_idx, n]
+        final_cols.append(final_val)
+        rows_computed[computing] += 1
+
+        solution = ((final_val >> msb_shift) & _U1) == _U0
+        newly = computing & solution & (min_errors < 0)
+        min_errors[newly] = d
+        if early_termination:
+            done |= newly
+        done |= computing & (d >= k)
+
+        R_prev, R_cur = R_cur, R_prev
+
+    # Bulk per-lane accounting, identical in total to the scalar per-row
+    # updates (per-row quantities are constant per lane).
+    stored_columns = n - np.maximum(0, wave.store_from - 1)
+    if entry_compression:
+        writes_per_row = stored_columns + (wave.store_from == 0)
+    else:
+        writes_per_row = 4 * stored_columns
+
+    tables: List[DCTable] = []
+    for i, job in enumerate(wave.jobs):
+        rows_i = int(rows_computed[i])
+        n_i = int(n[i])
+        k_i = int(k[i])
+        counter = job.counter
+        counter.entries_computed += rows_i * n_i
+        counter.rows_computed += rows_i
+        counter.record_write(rows_i * int(writes_per_row[i]), int(wave.entry_store[i]))
+        found = int(min_errors[i])
+        if early_termination and found >= 0:
+            counter.rows_skipped += k_i - found
+
+        table = DCTable(
+            pattern=job.pattern,
+            text=job.text,
+            max_errors=k_i,
+            entry_compression=entry_compression,
+            early_termination=early_termination,
+            traceback_band=traceback_band,
+            word_bits=wave.word_bits,
+            store_from_column=int(wave.store_from[i]),
+            counter=counter,
+        )
+        table.rows_computed = rows_i
+        table.min_errors = found if found >= 0 else None
+        table.final_column = [int(final_cols[d][i]) for d in range(rows_i)]
+        if entry_compression:
+            table.stored_r = [stored_rows[d][i, : n_i + 1].tolist() for d in range(rows_i)]
+        else:
+            table.stored_quad = [
+                list(
+                    zip(
+                        stored_rows[d][0][i, :n_i].tolist(),
+                        stored_rows[d][1][i, :n_i].tolist(),
+                        stored_rows[d][2][i, :n_i].tolist(),
+                        stored_rows[d][3][i, :n_i].tolist(),
+                    )
+                )
+                for d in range(rows_i)
+            ]
+        table._band_lo = [int(x) for x in wave.band_lo[i, : n_i + 1]]
+        table._band_width = None  # lazily derived; identical to scalar
+        tables.append(table)
+    return tables
+
+
+class _PairState:
+    """Mutable per-pair cursor of the lockstep windowing loop."""
+
+    __slots__ = (
+        "pattern",
+        "text",
+        "p",
+        "t",
+        "ops",
+        "windows",
+        "peak_bytes",
+        "total_bytes",
+        "rows_total",
+        "counter",
+        "done",
+    )
+
+    def __init__(self, pattern: str, text: str) -> None:
+        self.pattern = pattern
+        self.text = text
+        self.p = 0
+        self.t = 0
+        self.ops: List[CigarOp] = []
+        self.windows = 0
+        self.peak_bytes = 0
+        self.total_bytes = 0
+        self.rows_total = 0
+        self.counter = AccessCounter()
+        self.done = len(pattern) == 0
+
+
+class BatchAlignmentEngine:
+    """Vectorized windowed GenASM aligner for batches of pairs.
+
+    All pairs advance through their windows together: each iteration of the
+    outer loop assembles one :class:`SoAWave` from every unfinished pair's
+    current window, runs the lockstep DC kernel (with per-lane
+    budget-doubling retry sub-waves), traces each lane back with the scalar
+    traceback, and advances the per-pair cursors exactly as
+    :func:`repro.core.windowing.align_windowed` would.
+
+    Parameters
+    ----------
+    config:
+        Aligner configuration; must use ``window_size <= 64`` for the
+        vectorized path (one ``uint64`` lane per pair).  Wider windows fall
+        back to the scalar aligner so the engine is total over configs.
+    name:
+        Label attached to produced alignments.
+    max_lanes:
+        Optional cap on concurrent lanes; larger batches are processed in
+        chunks of this many pairs (bounds wave memory, keeps lanes of
+        similar length together when the caller pre-sorts).
+    """
+
+    def __init__(
+        self,
+        config: Optional[GenASMConfig] = None,
+        *,
+        name: str = "genasm-vectorized",
+        max_lanes: Optional[int] = None,
+    ) -> None:
+        self.config = config if config is not None else GenASMConfig()
+        self.name = name
+        if max_lanes is not None and max_lanes < 1:
+            raise ValueError("max_lanes must be at least 1")
+        self.max_lanes = max_lanes
+
+    @property
+    def vectorizable(self) -> bool:
+        """Whether this configuration fits the uint64 lane layout."""
+        return self.config.window_size <= MAX_LANE_BITS and self.config.word_bits == 64
+
+    # ------------------------------------------------------------------ #
+    def align_pairs(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        *,
+        counter: Optional[AccessCounter] = None,
+    ) -> List[Alignment]:
+        """Align a batch of (pattern, text) pairs; results match the scalar path.
+
+        A shared :class:`AccessCounter` may be supplied; it receives the
+        whole batch's aggregate DP traffic, equal to what
+        :meth:`repro.core.aligner.GenASMAligner.align_batch` accumulates.
+        Each alignment's ``metadata`` always describes that pair alone
+        (``align_batch`` instead snapshots the shared counter's running
+        totals into per-alignment metadata, which this engine does not
+        replicate).
+        """
+        if not self.vectorizable:
+            from repro.core.aligner import GenASMAligner
+
+            aligner = GenASMAligner(self.config, name=self.name)
+            return [aligner.align(p, t, counter=counter) for p, t in pairs]
+
+        pairs = list(pairs)
+        out: List[Optional[Alignment]] = [None] * len(pairs)
+        step = self.max_lanes if self.max_lanes is not None else max(1, len(pairs))
+        for start in range(0, len(pairs), step):
+            chunk = pairs[start : start + step]
+            for offset, alignment in enumerate(self._align_chunk(chunk, counter)):
+                out[start + offset] = alignment
+        if any(a is None for a in out):
+            raise AssertionError("batch engine produced fewer alignments than pairs")
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _align_chunk(
+        self, pairs: Sequence[Tuple[str, str]], shared: Optional[AccessCounter]
+    ) -> List[Alignment]:
+        config = self.config
+        states = [_PairState(p, t) for p, t in pairs]
+
+        while True:
+            active = [s for s in states if not s.done]
+            if not active:
+                break
+            wave_members: List[Tuple[_PairState, str, str, int, int]] = []
+            for s in active:
+                remaining = len(s.pattern) - s.p
+                w = min(config.window_size, remaining)
+                text_budget = min(len(s.text) - s.t, w + config.text_slack)
+                window_pattern = s.pattern[s.p : s.p + w]
+                window_text = s.text[s.t : s.t + max(0, text_budget)]
+                last_window = w >= remaining
+                commit = w if last_window else max(1, min(w, min(config.window_step, w)))
+
+                if len(window_text) == 0:
+                    # No DP to vectorize: delegate to the scalar early-return
+                    # path so its semantics stay single-sourced.
+                    result = align_window(
+                        window_pattern,
+                        window_text,
+                        config,
+                        counter=s.counter,
+                        commit_columns=commit,
+                    )
+                    self._apply_window(
+                        s,
+                        ops=result.ops,
+                        pattern_consumed=result.pattern_consumed,
+                        text_consumed=result.text_consumed,
+                        rows=result.rows_computed,
+                        stored=result.stored_bytes,
+                    )
+                    continue
+                wave_members.append((s, window_pattern, window_text, commit, w))
+
+            if wave_members:
+                self._run_wave(wave_members)
+
+            for s in states:
+                if not s.done and s.p >= len(s.pattern):
+                    s.done = True
+
+        footprint = MemoryFootprint.from_config(config)
+        model_bytes = footprint.bytes_for_config(config)
+        alignments: List[Alignment] = []
+        for s in states:
+            cigar = Cigar.from_ops(s.ops)
+            metadata = {
+                "windows": s.windows,
+                "rows_computed": s.rows_total,
+                "peak_window_bytes": s.peak_bytes,
+                "total_stored_bytes": s.total_bytes,
+                "dp_accesses": s.counter.total_accesses,
+                "dp_bytes": s.counter.total_bytes,
+                "model_window_bytes": model_bytes,
+            }
+            alignments.append(
+                Alignment(
+                    pattern=s.pattern,
+                    text=s.text,
+                    cigar=cigar,
+                    edit_distance=cigar.edit_distance,
+                    text_start=0,
+                    text_end=s.t,
+                    aligner=self.name,
+                    metadata=metadata,
+                )
+            )
+            if shared is not None:
+                shared.merge(s.counter)
+        return alignments
+
+    # ------------------------------------------------------------------ #
+    def _run_wave(
+        self, members: Sequence[Tuple[_PairState, str, str, int, int]]
+    ) -> None:
+        """Run one windowing step for every member, with retry sub-waves."""
+        config = self.config
+        # (state, rev_pattern, rev_text, commit, window_text_len, budget)
+        pending = [
+            (s, wp[::-1], wt[::-1], commit, len(wt), max(1, min(w, config.k)))
+            for s, wp, wt, commit, w in members
+        ]
+        while pending:
+            jobs = []
+            for s, rev_p, rev_t, commit, _wt_len, budget in pending:
+                store_from = 0
+                if config.traceback_band:
+                    store_from = reachable_column_start(len(rev_t), commit, budget)
+                jobs.append(
+                    LaneJob(
+                        pattern=rev_p,
+                        text=rev_t,
+                        max_errors=budget,
+                        store_from=store_from,
+                        counter=s.counter,
+                    )
+                )
+            wave = SoAWave(
+                jobs, traceback_band=config.traceback_band, word_bits=config.word_bits
+            )
+            tables = run_dc_wave(
+                wave,
+                entry_compression=config.entry_compression,
+                early_termination=config.early_termination,
+            )
+
+            retries = []
+            for (s, rev_p, rev_t, commit, wt_len, budget), table in zip(pending, tables):
+                if table.min_errors is None:
+                    m = len(rev_p)
+                    if budget >= m:
+                        raise AssertionError(
+                            "GenASM window failed with a full error budget (internal error)"
+                        )
+                    retries.append((s, rev_p, rev_t, commit, wt_len, min(m, budget * 2)))
+                    continue
+                ops, text_stop = genasm_traceback(
+                    table, priority=config.match_priority, max_pattern_columns=commit
+                )
+                s.counter.windows += 1
+                self._apply_window(
+                    s,
+                    ops=ops,
+                    pattern_consumed=sum(1 for op in ops if op.consumes_pattern),
+                    text_consumed=wt_len - text_stop,
+                    rows=table.rows_computed,
+                    stored=table.stored_bytes(),
+                )
+            pending = retries
+
+    @staticmethod
+    def _apply_window(
+        s: _PairState,
+        *,
+        ops: List[CigarOp],
+        pattern_consumed: int,
+        text_consumed: int,
+        rows: int,
+        stored: int,
+    ) -> None:
+        s.windows += 1
+        s.peak_bytes = max(s.peak_bytes, stored)
+        s.total_bytes += stored
+        s.rows_total += rows
+        s.ops.extend(ops)
+        s.p += pattern_consumed
+        s.t += text_consumed
+        if pattern_consumed == 0:
+            # Defensive: mirror align_windowed's forward-progress guard.
+            s.done = True
+
+
+def align_pairs_vectorized(
+    pairs: Sequence[Tuple[str, str]],
+    config: Optional[GenASMConfig] = None,
+    *,
+    counter: Optional[AccessCounter] = None,
+) -> List[Alignment]:
+    """One-shot convenience wrapper over :class:`BatchAlignmentEngine`."""
+    return BatchAlignmentEngine(config).align_pairs(pairs, counter=counter)

@@ -1,0 +1,173 @@
+"""Structure-of-arrays (SoA) lane layout for batched GenASM windows.
+
+The vectorized batch engine evaluates many window pairs *in lockstep*: at
+DP step ``(d, j)`` every lane (one lane = one window pair) performs the same
+bitvector operation on its own 64-bit word.  This module owns the lane
+layout — the transposition from a list of per-window Python objects into
+NumPy ``uint64`` arrays indexed ``[lane]`` or ``[lane, column]`` — so the
+engine's hot loop touches only contiguous arrays.
+
+The same layout is what a GPU implementation would use: one warp lane per
+window pair, pattern masks staged in shared memory, per-lane band offsets
+in registers.  :func:`lockstep_stats` quantifies the cost of that lockstep
+execution (lanes in a group wait for the slowest member), which
+:class:`repro.gpu.simulator.GpuSimulator` uses to model warp divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitvector import all_ones, pattern_bitmasks_zero_match
+from repro.core.improvements import band_width, entry_bytes
+from repro.core.metrics import AccessCounter
+
+__all__ = ["LaneJob", "SoAWave", "lockstep_stats"]
+
+#: Widest pattern window a single uint64 lane can hold.
+MAX_LANE_BITS = 64
+
+
+@dataclass
+class LaneJob:
+    """One window pair occupying one lane of a wave.
+
+    ``pattern`` and ``text`` are the *reversed* window sequences (the same
+    anchoring trick :mod:`repro.core.windowing` uses), ``max_errors`` the
+    clamped per-lane error budget, and ``store_from`` the first text column
+    whose entries are persisted (traceback-reachability pruning).
+    """
+
+    pattern: str
+    text: str
+    max_errors: int
+    store_from: int = 0
+    counter: AccessCounter = field(default_factory=AccessCounter)
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.pattern) <= MAX_LANE_BITS):
+            raise ValueError(
+                f"lane pattern must be 1..{MAX_LANE_BITS} characters, "
+                f"got {len(self.pattern)}"
+            )
+        if len(self.text) == 0:
+            raise ValueError("lane text must be non-empty (empty windows are handled scalar-side)")
+
+
+class SoAWave:
+    """SoA arrays for one wave of lanes, ready for the lockstep DP.
+
+    Attributes (``L`` lanes, ``n_max`` = longest lane text):
+
+    ``m``, ``n``, ``k``
+        int64 ``(L,)`` — pattern length, text length, error budget.
+    ``ones``
+        uint64 ``(L,)`` — per-lane all-ones bitvector (``2^m − 1``).
+    ``masks``
+        uint64 ``(L, n_max)`` — GenASM zero-match pattern mask for each
+        lane's text character; columns beyond a lane's text are padded with
+        that lane's ``ones`` (never consumed).
+    ``band_lo``
+        uint64 ``(L, n_max + 1)`` — band offset per column (all zeros when
+        the band improvement is off).  Clamped to 63 for the padded columns
+        so shifts stay defined; valid columns are never clamped.
+    ``band_mask``
+        uint64 ``(L,)`` — mask selecting the stored band bits.
+    ``store_from``, ``entry_store``
+        int64 ``(L,)`` — first persisted column and bytes per stored entry.
+    """
+
+    def __init__(
+        self, jobs: Sequence[LaneJob], *, traceback_band: bool, word_bits: int = 64
+    ) -> None:
+        if not jobs:
+            raise ValueError("a wave needs at least one lane")
+        self.jobs = list(jobs)
+        L = len(self.jobs)
+        self.lanes = L
+        self.traceback_band = traceback_band
+        self.word_bits = word_bits
+
+        self.m = np.array([len(j.pattern) for j in self.jobs], dtype=np.int64)
+        self.n = np.array([len(j.text) for j in self.jobs], dtype=np.int64)
+        self.k = np.array(
+            [max(0, min(j.max_errors, len(j.pattern))) for j in self.jobs],
+            dtype=np.int64,
+        )
+        self.n_max = int(self.n.max())
+        self.k_max = int(self.k.max())
+        ones_py = [all_ones(len(j.pattern)) for j in self.jobs]
+        self.ones = np.array(ones_py, dtype=np.uint64)
+
+        masks = np.empty((L, self.n_max), dtype=np.uint64)
+        for i, job in enumerate(self.jobs):
+            pm = pattern_bitmasks_zero_match(job.pattern)
+            lane_ones = ones_py[i]
+            row = [pm.get(c, lane_ones) for c in job.text]
+            row.extend([lane_ones] * (self.n_max - len(row)))
+            masks[i, :] = row
+        self.masks = masks
+
+        if traceback_band:
+            self.store_from = np.array(
+                [max(0, min(j.store_from, len(j.text))) for j in self.jobs],
+                dtype=np.int64,
+            )
+        else:
+            self.store_from = np.zeros(L, dtype=np.int64)
+
+        cols = np.arange(self.n_max + 1, dtype=np.int64)
+        if traceback_band:
+            lo = (self.m[:, None] - 1) - (self.n[:, None] - cols[None, :]) - self.k[:, None]
+            lo = np.clip(lo, 0, MAX_LANE_BITS - 1)
+            self.band_lo = lo.astype(np.uint64)
+        else:
+            self.band_lo = np.zeros((L, self.n_max + 1), dtype=np.uint64)
+        self.band_mask = np.array(
+            [all_ones(band_width(int(mi), int(ki))) for mi, ki in zip(self.m, self.k)],
+            dtype=np.uint64,
+        )
+        #: columns that are persisted per lane (inside the lane's text and
+        #: at/after its store_from column)
+        self.store_col = (cols[None, :] >= self.store_from[:, None]) & (
+            cols[None, :] <= self.n[:, None]
+        )
+        self.entry_store = np.array(
+            [
+                entry_bytes(max(1, int(mi)), int(ki), word_bits, traceback_band)
+                for mi, ki in zip(self.m, self.k)
+            ],
+            dtype=np.int64,
+        )
+
+
+def lockstep_stats(work: Sequence[float], group_size: int) -> Dict[str, float]:
+    """Efficiency of executing ``work`` units in lockstep groups.
+
+    Lanes are packed into groups of ``group_size``; a group's lanes run in
+    lockstep, so every lane occupies its slot for as long as the group's
+    slowest member (this is exactly SIMT warp divergence, and also the
+    wave-padding cost of the SoA batch engine).  Returns the useful work,
+    the slot-time actually consumed, and their ratio (``efficiency``).
+    """
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    items = [float(w) for w in work]
+    if not items:
+        return {"groups": 0, "useful_work": 0.0, "lockstep_work": 0.0, "efficiency": 1.0}
+    useful = sum(items)
+    lockstep = 0.0
+    groups = 0
+    for start in range(0, len(items), group_size):
+        group = items[start : start + group_size]
+        lockstep += max(group) * len(group)
+        groups += 1
+    return {
+        "groups": groups,
+        "useful_work": useful,
+        "lockstep_work": lockstep,
+        "efficiency": useful / lockstep if lockstep > 0 else 1.0,
+    }

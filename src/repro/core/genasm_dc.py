@@ -243,11 +243,16 @@ def genasm_dc(
     )
 
     if m == 0:
-        # Empty pattern: trivially matched with zero errors everywhere.
+        # Empty pattern: trivially matched with zero errors everywhere.  The
+        # stored representation must match what the config asked for — the
+        # quad traceback path reads ``stored_quad``, never ``stored_r``.
         table.rows_computed = 1
         table.min_errors = 0
         table.final_column = [0]
-        table.stored_r = [[0] * (n + 1)]
+        if entry_compression:
+            table.stored_r = [[0] * (n + 1)]
+        else:
+            table.stored_quad = [[(0, 0, 0, 0)] * n]
         return table
 
     ones = all_ones(m)

@@ -17,6 +17,11 @@ at the end of the reversed text corresponds to a start-anchored alignment
 covering a prefix of the forward text window, and the traceback (which runs
 end-to-start over the reversed window) emits operations directly in forward
 order.  This mirrors how GenASM stores its pattern bitmasks reversed.
+
+This module is the *scalar* path (one window at a time, Python-int
+bitvectors).  Batch workloads should prefer
+:class:`repro.batch.BatchAlignmentEngine`, which advances many pairs'
+windows in lockstep over NumPy uint64 lanes and produces identical results.
 """
 
 from __future__ import annotations
@@ -88,8 +93,10 @@ def align_window(
     m = len(pattern_window)
     commit = m if commit_columns is None else max(1, min(m, commit_columns))
     if m == 0:
+        counter.windows += 1
         return WindowResult([], 0, 0, 0, 0, 0, 0)
     if len(text_window) == 0:
+        counter.windows += 1
         ops = [CigarOp.INSERTION] * commit
         return WindowResult(ops, commit, 0, commit, 0, 0, 0)
 

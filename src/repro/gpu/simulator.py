@@ -14,6 +14,13 @@ GPUs).  The crucial modelling decision mirrors the paper's mechanism:
 whether a configuration's per-problem DP working set fits on-chip decides
 whether its DP traffic counts toward the memory roof at all.
 
+The optional warp-lockstep refinement reuses the lane layout of the
+vectorized CPU batch engine (:mod:`repro.batch`): one alignment problem per
+warp lane, so a warp's lanes run in lockstep and the issued compute work is
+the per-warp maximum.  :meth:`GpuSimulator.warp_divergence` exposes the
+divergence statistics and ``simulate(..., warp_lockstep=True)`` folds them
+into the compute roof.
+
 The simulation is *functional*: every pair is actually aligned by the CPU
 implementation while being profiled, so the simulated kernels return real
 alignments (identical to the library's CPU results) alongside the timing
@@ -25,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.batch.soa import lockstep_stats
 from repro.core.alignment import Alignment
 from repro.core.config import GenASMConfig
 from repro.gpu.device import A6000, XEON_GOLD_5118, CpuSpec, GpuSpec
@@ -57,6 +65,9 @@ class SimulationResult:
     occupancy: float
     dp_in_shared: bool
     total_cost: KernelCost
+    #: fraction of lockstep execution slots doing useful work (1.0 when the
+    #: warp-divergence model is not applied)
+    lane_efficiency: float = 1.0
     alignments: List[Alignment] = field(default_factory=list)
 
     @property
@@ -81,6 +92,7 @@ class SimulationResult:
             "bound": self.bound,
             "occupancy": round(self.occupancy, 3),
             "dp_in_shared": self.dp_in_shared,
+            "lane_efficiency": round(self.lane_efficiency, 3),
         }
 
 
@@ -107,6 +119,22 @@ class GpuSimulator:
         )
         return resident_threads / spec.max_threads_per_sm
 
+    def warp_divergence(
+        self, profiles: Sequence[PairProfile], *, warp_size: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Warp-level lockstep model over a profiled batch.
+
+        The kernel assigns one alignment problem per warp lane (the same
+        lane layout the vectorized CPU engine in :mod:`repro.batch` uses),
+        so lanes of a warp execute in lockstep and every lane waits for the
+        warp's most expensive problem.  Reuses
+        :func:`repro.batch.soa.lockstep_stats` over the profiled per-pair
+        compute work; ``efficiency`` is the fraction of issued lockstep
+        slots doing useful work.
+        """
+        warp = warp_size if warp_size is not None else self.spec.warp_size
+        return lockstep_stats([p.cost.compute_ops for p in profiles], warp)
+
     def simulate(
         self,
         pairs: Sequence[Tuple[str, str]],
@@ -115,13 +143,17 @@ class GpuSimulator:
         profiles: Optional[List[PairProfile]] = None,
         keep_alignments: bool = True,
         workload_multiplier: float = 1.0,
+        warp_lockstep: bool = False,
     ) -> SimulationResult:
         """Profile (or reuse profiles of) a batch and estimate its GPU runtime.
 
         ``workload_multiplier`` scales the profiled batch to a larger
         workload of the same composition (the per-pair cost model is
         linear); the experiment harness uses it to extrapolate a profiled
-        sample to the paper's 138,929-pair dataset.
+        sample to the paper's 138,929-pair dataset.  ``warp_lockstep``
+        additionally charges the compute roof for warp divergence: lanes of
+        a warp (one problem per lane, the :mod:`repro.batch` layout) run in
+        lockstep, so the issued work is the per-warp maximum, not the mean.
         """
         kernel = kernel or GenASMKernelSpec()
         if profiles is None:
@@ -137,8 +169,14 @@ class GpuSimulator:
         in_shared = kernel.fits_in_shared(self.spec, total.working_set_bytes)
         occupancy = self.occupancy(kernel, total.working_set_bytes)
 
+        lane_efficiency = 1.0
+        if warp_lockstep and profiles:
+            lane_efficiency = max(1e-3, self.warp_divergence(profiles)["efficiency"])
+
         compute_rate = self.spec.peak_word_ops_per_second * GPU_COMPUTE_EFFICIENCY
-        compute_seconds = total.compute_ops / (compute_rate * max(occupancy, 1e-3))
+        compute_seconds = total.compute_ops / (
+            compute_rate * max(occupancy, 1e-3) * lane_efficiency
+        )
 
         offchip_bytes = total.io_bytes + (0.0 if in_shared else total.dp_bytes)
         bandwidth = self.spec.global_bandwidth * GPU_BANDWIDTH_EFFICIENCY
@@ -155,6 +193,7 @@ class GpuSimulator:
             bound="memory" if memory_seconds > compute_seconds else "compute",
             occupancy=occupancy,
             dp_in_shared=in_shared,
+            lane_efficiency=lane_efficiency,
             total_cost=total,
             alignments=[p.alignment for p in profiles] if keep_alignments else [],
         )

@@ -5,6 +5,7 @@ from repro.harness.experiments import (
     PAPER_CLAIMS,
     run_accuracy_experiment,
     run_ablation_experiment,
+    run_batched_throughput_experiment,
     run_cpu_speed_experiment,
     run_gpu_speed_experiment,
     run_memory_access_experiment,
@@ -17,6 +18,7 @@ __all__ = [
     "build_paper_dataset",
     "PAPER_CLAIMS",
     "run_cpu_speed_experiment",
+    "run_batched_throughput_experiment",
     "run_gpu_speed_experiment",
     "run_memory_footprint_experiment",
     "run_memory_access_experiment",

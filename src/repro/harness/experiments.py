@@ -21,11 +21,13 @@ from repro.gpu.device import A6000, XEON_GOLD_5118
 from repro.gpu.kernel import GenASMKernelSpec
 from repro.gpu.simulator import CpuModel, GpuSimulator
 from repro.harness.dataset import AlignmentWorkload, build_paper_dataset
+from repro.parallel.executor import BatchExecutor
 
 __all__ = [
     "PAPER_CLAIMS",
     "default_workload",
     "run_cpu_speed_experiment",
+    "run_batched_throughput_experiment",
     "run_gpu_speed_experiment",
     "run_memory_footprint_experiment",
     "run_memory_access_experiment",
@@ -124,6 +126,74 @@ def run_cpu_speed_experiment(
     for row in rows:
         row["pairs"] = len(pairs)
         row["timings_seconds"] = dict(timings)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# E1v — batched CPU throughput: scalar vs vectorized vs multiprocess backends
+# --------------------------------------------------------------------------- #
+def run_batched_throughput_experiment(
+    workload: Optional[AlignmentWorkload] = None,
+    *,
+    config: Optional[GenASMConfig] = None,
+    workers: int = 2,
+    include_process: bool = True,
+) -> List[Dict[str, object]]:
+    """E1v: batched variant of the CPU-throughput experiment.
+
+    Runs the same candidate pairs through every
+    :class:`~repro.parallel.executor.BatchExecutor` backend — the serial
+    per-pair loop, the vectorized lockstep engine from :mod:`repro.batch`,
+    and (optionally) a ``workers``-process pool — and reports each batched
+    backend's speedup over the serial path.  The paper has no corresponding
+    number (its batch layer is the 48-thread C++ harness), so ``paper`` is
+    NaN; the rows instead carry an ``identical_results`` flag asserting the
+    backends produced byte-identical CIGARs and edit distances, which is
+    the correctness contract of the vectorized engine.
+    """
+    workload = workload or default_workload()
+    config = config or GenASMConfig()
+    pairs = workload.pairs
+
+    serial = BatchExecutor(backend="serial").run_alignments(pairs, config, name="serial")
+    vectorized = BatchExecutor(backend="vectorized").run_alignments(
+        pairs, config, name="vectorized"
+    )
+
+    def identical(batch) -> bool:
+        return all(
+            str(a.cigar) == str(b.cigar) and a.edit_distance == b.edit_distance
+            for a, b in zip(serial.results, batch.results)
+        )
+
+    rows = [
+        {
+            "id": "E1v_vectorized_vs_serial",
+            "metric": "vectorized batch engine speedup over serial CPU loop",
+            "paper": float("nan"),
+            "measured": vectorized.speedup_over(serial),
+            "identical_results": identical(vectorized),
+            "serial_pairs_per_second": serial.items_per_second,
+            "vectorized_pairs_per_second": vectorized.items_per_second,
+        }
+    ]
+    if include_process and workers > 1:
+        process = BatchExecutor(workers=workers, backend="process").run_alignments(
+            pairs, config, name="process"
+        )
+        rows.append(
+            {
+                "id": "E1v_process_vs_serial",
+                "metric": f"{workers}-process pool speedup over serial CPU loop",
+                "paper": float("nan"),
+                "measured": process.speedup_over(serial),
+                "identical_results": identical(process),
+                "workers": workers,
+                "process_pairs_per_second": process.items_per_second,
+            }
+        )
+    for row in rows:
+        row["pairs"] = len(pairs)
     return rows
 
 

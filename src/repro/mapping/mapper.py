@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.core.alignment import Alignment
+from repro.core.config import GenASMConfig
 from repro.genomics.genome import SyntheticGenome
 from repro.genomics.read_simulator import SimulatedRead
 from repro.genomics.sequences import reverse_complement
@@ -180,3 +182,34 @@ class Mapper:
             read_sequence if candidate.strand == "+" else reverse_complement(read_sequence)
         )
         return pattern, region
+
+    # ------------------------------------------------------------------ #
+    def align_candidates(
+        self,
+        candidates: List[CandidateMapping],
+        read_sequences: Mapping[str, str],
+        config: Optional[GenASMConfig] = None,
+        *,
+        backend: str = "vectorized",
+        workers: int = 1,
+    ) -> List[Alignment]:
+        """Batch-align every candidate region against its read with GenASM.
+
+        This is the mapper half of the paper's pipeline joined to the
+        aligner half: the candidate regions produced by seed-and-chain are
+        gathered into one batch of (pattern, text) pairs and pushed through
+        :meth:`repro.parallel.executor.BatchExecutor.run_alignments`, which
+        defaults to the vectorized lockstep engine (``backend`` selects
+        ``serial``/``process``/``vectorized``; all three produce identical
+        alignments).  ``workers`` only takes effect with the ``process``
+        backend — serial and vectorized runs are single-process.  The
+        returned list is parallel to ``candidates``.
+        """
+        from repro.parallel.executor import BatchExecutor
+
+        pairs = [
+            self.candidate_region_sequence(c, read_sequences[c.read_name])
+            for c in candidates
+        ]
+        executor = BatchExecutor(workers=workers, backend=backend)
+        return executor.run_alignments(pairs, config, name="candidate-batch").results

@@ -1,5 +1,17 @@
-"""Batch execution utilities for the CPU evaluation."""
+"""Batch execution utilities for the CPU evaluation.
 
-from repro.parallel.executor import BatchExecutor, BatchResult, Stopwatch, chunk_items
+:class:`BatchExecutor` runs alignment batches with one of three backends —
+``serial`` (Python loop), ``process`` (spawn-context multiprocessing pool),
+or ``vectorized`` (the lockstep SoA engine from :mod:`repro.batch`) — all
+of which produce identical alignments for the same pairs and config.
+"""
 
-__all__ = ["BatchExecutor", "BatchResult", "Stopwatch", "chunk_items"]
+from repro.parallel.executor import (
+    BACKENDS,
+    BatchExecutor,
+    BatchResult,
+    Stopwatch,
+    chunk_items,
+)
+
+__all__ = ["BACKENDS", "BatchExecutor", "BatchResult", "Stopwatch", "chunk_items"]

@@ -2,29 +2,59 @@
 
 The paper's CPU evaluation runs every aligner over the full candidate-pair
 set with 48 threads.  :class:`BatchExecutor` provides the equivalent batch
-loop for this library: it partitions the pairs into chunks, runs an aligner
-callable over each chunk either serially or with a multiprocessing pool,
-and reports wall-clock throughput.  The speedup ratios in experiment E1 are
-per-pair ratios, so the serial mode (the default, and the only mode used by
-the automated benchmarks to keep them deterministic) is sufficient; the
-multiprocessing mode exists for users who want absolute throughput on their
-own machines.
+layer for this library.  It supports three backends:
+
+``serial``
+    A plain Python loop (the default, and the mode used by the automated
+    benchmarks to keep them deterministic).
+``process``
+    A spawn-context :mod:`multiprocessing` pool over ``workers`` processes.
+    Everything shipped to the pool is a module-level callable (or a
+    :func:`functools.partial` over one), so it pickles under the spawn
+    start method — the historical lambda-based implementation crashed with
+    ``workers > 1``.
+``vectorized``
+    The NumPy structure-of-arrays engine from :mod:`repro.batch`, which
+    evaluates many window pairs in lockstep and produces byte-identical
+    alignments to the serial path.  Only :meth:`BatchExecutor.run_alignments`
+    uses it (arbitrary callables cannot be vectorized).
+
+``run``/``run_pairs`` execute arbitrary callables (serially or with the
+pool); :meth:`run_alignments` is the GenASM-specific entry point that can
+additionally dispatch to the vectorized engine.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from functools import partial
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["Stopwatch", "BatchResult", "BatchExecutor", "chunk_items"]
+from repro.core.alignment import Alignment
+from repro.core.config import GenASMConfig
+
+__all__ = [
+    "Stopwatch",
+    "BatchResult",
+    "BatchExecutor",
+    "chunk_items",
+    "BACKENDS",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Backends accepted by :class:`BatchExecutor`.
+BACKENDS = ("serial", "process", "vectorized")
+
 
 class Stopwatch:
-    """Minimal wall-clock stopwatch with split support."""
+    """Minimal wall-clock stopwatch with split support.
+
+    ``elapsed`` accumulates across start/stop cycles, so one instance can
+    time several non-contiguous phases of a run.
+    """
 
     def __init__(self) -> None:
         self._start: Optional[float] = None
@@ -47,6 +77,11 @@ class Stopwatch:
         self._start = None
         return self.elapsed
 
+    def reset(self) -> None:
+        """Forget any accumulated time (and any running split)."""
+        self._start = None
+        self.elapsed = 0.0
+
 
 def chunk_items(items: Sequence[T], chunk_size: int) -> List[Sequence[T]]:
     """Split ``items`` into chunks of at most ``chunk_size`` elements."""
@@ -64,6 +99,7 @@ class BatchResult(Generic[R]):
     items: int
     workers: int = 1
     name: str = "batch"
+    backend: str = "serial"
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -78,14 +114,63 @@ class BatchResult(Generic[R]):
         return self.items_per_second / other.items_per_second
 
 
-class BatchExecutor:
-    """Run a callable over a batch of items, serially or with processes."""
+def _invoke_pair(align: Callable[[str, str], R], pair: Tuple[str, str]) -> R:
+    """Apply a two-argument aligner to a (pattern, text) tuple.
 
-    def __init__(self, workers: int = 1, chunk_size: int = 32) -> None:
+    Module-level (rather than a lambda inside :meth:`BatchExecutor.run_pairs`)
+    so that ``functools.partial(_invoke_pair, align)`` pickles under the
+    multiprocessing spawn context.
+    """
+    return align(pair[0], pair[1])
+
+
+def _align_pair_with_config(config: GenASMConfig, pair: Tuple[str, str]) -> Alignment:
+    """Align one (pattern, text) pair with a fresh GenASM aligner.
+
+    Module-level worker for the process backend: only the (picklable)
+    config crosses the process boundary, and each worker builds its own
+    aligner.
+    """
+    from repro.core.aligner import GenASMAligner
+
+    return GenASMAligner(config).align(pair[0], pair[1])
+
+
+class BatchExecutor:
+    """Run a callable over a batch of items, serially or in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Process count for the ``process`` backend (and for ``run``/
+        ``run_pairs`` when > 1).
+    chunk_size:
+        Items per pool task in process mode.
+    backend:
+        Default backend for :meth:`run_alignments` — one of
+        :data:`BACKENDS`.  ``run``/``run_pairs`` derive their mode from
+        ``workers`` alone (they cannot be vectorized).
+    """
+
+    def __init__(
+        self, workers: int = 1, chunk_size: int = 32, backend: str = "serial"
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.backend = backend
+
+    # ------------------------------------------------------------------ #
+    def _pool_map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        # Imported lazily so the serial path has no multiprocessing cost.
+        from multiprocessing import get_context
+
+        ctx = get_context("spawn")
+        with ctx.Pool(self.workers) as pool:
+            return pool.map(func, items, chunksize=max(1, self.chunk_size))
 
     def run(
         self,
@@ -94,18 +179,18 @@ class BatchExecutor:
         *,
         name: str = "batch",
     ) -> BatchResult[R]:
-        """Apply ``func`` to every item and time the whole batch."""
+        """Apply ``func`` to every item and time the whole batch.
+
+        With ``workers > 1`` the callable is shipped to a spawn-context
+        pool, so it must be picklable (a module-level function, a partial
+        over one, or a bound method of a picklable object).
+        """
         watch = Stopwatch()
         watch.start()
         if self.workers == 1:
             results = [func(item) for item in items]
         else:
-            # Imported lazily so the serial path has no multiprocessing cost.
-            from multiprocessing import get_context
-
-            ctx = get_context("spawn")
-            with ctx.Pool(self.workers) as pool:
-                results = pool.map(func, items, chunksize=max(1, self.chunk_size))
+            results = self._pool_map(func, items)
         elapsed = watch.stop()
         return BatchResult(
             results=list(results),
@@ -113,6 +198,7 @@ class BatchExecutor:
             items=len(items),
             workers=self.workers,
             name=name,
+            backend="serial" if self.workers == 1 else "process",
         )
 
     def run_pairs(
@@ -123,4 +209,64 @@ class BatchExecutor:
         name: str = "align-batch",
     ) -> BatchResult[R]:
         """Convenience wrapper for (pattern, text) alignment callables."""
-        return self.run(lambda pair: align(pair[0], pair[1]), pairs, name=name)
+        return self.run(partial(_invoke_pair, align), pairs, name=name)
+
+    # ------------------------------------------------------------------ #
+    def run_alignments(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        config: Optional[GenASMConfig] = None,
+        *,
+        name: str = "genasm-batch",
+        backend: Optional[str] = None,
+    ) -> BatchResult[Alignment]:
+        """Align a batch of (pattern, text) pairs with GenASM.
+
+        Dispatches on ``backend`` (defaulting to the executor's):
+
+        * ``serial`` — one :class:`~repro.core.aligner.GenASMAligner` in a
+          Python loop;
+        * ``process`` — ``workers`` spawn processes, each aligning its
+          chunk with a private aligner;
+        * ``vectorized`` — the lockstep SoA engine from :mod:`repro.batch`.
+
+        All three produce identical alignments (CIGAR, edit distance,
+        consumed text span) for the same pairs and config.
+        """
+        backend = backend if backend is not None else self.backend
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        config = config if config is not None else GenASMConfig()
+
+        if backend == "process" and self.workers == 1:
+            # Be honest about what actually runs: a 1-worker "pool" is the
+            # serial loop, and reporting it as "process" would misattribute
+            # throughput numbers.
+            backend = "serial"
+
+        watch = Stopwatch()
+        watch.start()
+        if backend == "vectorized":
+            from repro.batch import BatchAlignmentEngine
+
+            results = BatchAlignmentEngine(config).align_pairs(pairs)
+            workers_used = 1
+        elif backend == "process":
+            results = self._pool_map(partial(_align_pair_with_config, config), pairs)
+            workers_used = self.workers
+        else:
+            from repro.core.aligner import GenASMAligner
+
+            aligner = GenASMAligner(config)
+            results = [aligner.align(p, t) for p, t in pairs]
+            workers_used = 1
+        elapsed = watch.stop()
+        return BatchResult(
+            results=list(results),
+            elapsed_seconds=elapsed,
+            items=len(pairs),
+            workers=workers_used,
+            name=name,
+            backend=backend,
+            metadata={"config": config},
+        )
