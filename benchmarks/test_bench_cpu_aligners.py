@@ -83,6 +83,47 @@ def test_bench_genasm_vectorized_cpu(benchmark, workload):
 
 
 @pytest.mark.bench
+def test_bench_genasm_vectorized_mixed_lengths(benchmark):
+    """Chunked waves over a mixed-length batch with sorted scheduling.
+
+    This is the workload shape the wave scheduler targets: lanes of very
+    different window counts, chunked into ``max_lanes``-wide waves.  The
+    benchmark reports the lockstep efficiency of the sorted schedule
+    against fifo chunking and spot-checks equivalence against the scalar
+    aligner.
+    """
+    import random
+
+    rng = random.Random(42)
+    alphabet = "ACGT"
+    pairs = []
+    for index in range(64):
+        length = (150, 1200, 300, 900)[index % 4]
+        pattern = "".join(rng.choice(alphabet) for _ in range(length))
+        text = list(pattern)
+        for _ in range(length // 12):
+            text[rng.randrange(len(text))] = rng.choice(alphabet)
+        pairs.append((pattern, "".join(text) + "ACGTACGT"))
+
+    engine = BatchAlignmentEngine(GenASMConfig(), max_lanes=16)
+    result = benchmark.pedantic(engine.align_pairs, args=(pairs,), rounds=2, iterations=1)
+    assert len(result) == len(pairs)
+
+    fifo = BatchAlignmentEngine(GenASMConfig(), max_lanes=16, scheduling="fifo")
+    benchmark.extra_info["lockstep_efficiency_sorted"] = round(
+        engine.scheduling_stats(pairs)["efficiency"], 3
+    )
+    benchmark.extra_info["lockstep_efficiency_fifo"] = round(
+        fifo.scheduling_stats(pairs)["efficiency"], 3
+    )
+    scalar = GenASMAligner(GenASMConfig(), name="genasm-improved")
+    for index, (pattern, text) in enumerate(pairs[:6]):
+        reference = scalar.align(pattern, text)
+        assert str(result[index].cigar) == str(reference.cigar)
+        assert result[index].edit_distance == reference.edit_distance
+
+
+@pytest.mark.bench
 def test_bench_e1v_batch_backends_table(benchmark, small_workload):
     """E1v: serial vs vectorized vs 2-process backend throughput rows."""
     rows = benchmark.pedantic(

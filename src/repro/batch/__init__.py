@@ -8,24 +8,68 @@ for batch workloads.  Results are byte-identical to the scalar path in
 
 * :class:`BatchAlignmentEngine` / :func:`align_pairs_vectorized` — batch
   aligner producing :class:`repro.core.alignment.Alignment` objects.
-* :func:`run_dc_wave` / :class:`SoAWave` / :class:`LaneJob` — the lockstep
-  GenASM-DC kernel and its lane layout.
+* :func:`run_dc_wave` / :func:`run_dc_wave_state` / :class:`SoAWave` /
+  :class:`LaneJob` — the lockstep GenASM-DC kernel and its lane layout.
+* :func:`build_wave_decisions` / :func:`lockstep_traceback` — the lockstep
+  GenASM-TB kernel (see below).
 * :func:`lockstep_stats` — lockstep (SIMT warp divergence) efficiency
   model shared with :mod:`repro.gpu.simulator`.
+
+Decision-word traceback layout
+------------------------------
+Both phases of a window run wave-wide.  The DC wave stores its rows as SoA
+arrays (``stored[d]`` is the band-packed ``R`` row ``(lanes, n_max + 1)``,
+or a quad tuple without entry compression).  Before traceback, those rows
+are expanded into **decision words**: four ``uint64`` planes of shape
+``(rows, lanes, n_max + 1)`` — one per CIGAR operation — in which bit ``i``
+of ``plane[d, lane, j]`` says that operation is a legal traceback step at
+text column ``j``, error level ``d``, pattern bit ``i``.  A match-plane
+word, for example, is ``char_eq[j] & ((zero(R[d][j-1]) << 1) | 1)``: the
+character-equality word ANDed with the shifted zero-bit view of the
+neighbouring stored entry — exactly the predicate
+:func:`repro.core.genasm_tb.traceback_conditions` evaluates bit by bit.
+
+The traceback then walks **all live lanes in lockstep**: per emitted CIGAR
+column, one gather fetches each lane's five decision words, a 16-entry
+lookup table resolves the first-true operation under ``match_priority``,
+and a second table replays the scalar loop's short-circuit read accounting
+(``dp_reads`` / ``bytes_read``).  Lanes whose committed pattern budget is
+exhausted drop out of the active mask — the same warp model
+:func:`lockstep_stats` quantifies and
+:meth:`repro.gpu.simulator.GpuSimulator.warp_divergence` applies to GPU
+warps.  Scheduling lanes into waves by expected window count
+(:meth:`BatchAlignmentEngine.schedule`) keeps that mask dense on
+mixed-length batches.
 """
 
 from repro.batch.engine import (
+    SCHEDULING_POLICIES,
     BatchAlignmentEngine,
+    WaveDCState,
     align_pairs_vectorized,
     run_dc_wave,
+    run_dc_wave_state,
 )
 from repro.batch.soa import LaneJob, SoAWave, lockstep_stats
+from repro.batch.traceback import (
+    LaneTraceback,
+    WaveDecisions,
+    build_wave_decisions,
+    lockstep_traceback,
+)
 
 __all__ = [
     "BatchAlignmentEngine",
+    "WaveDCState",
     "align_pairs_vectorized",
     "run_dc_wave",
+    "run_dc_wave_state",
+    "SCHEDULING_POLICIES",
     "LaneJob",
     "SoAWave",
     "lockstep_stats",
+    "LaneTraceback",
+    "WaveDecisions",
+    "build_wave_decisions",
+    "lockstep_traceback",
 ]

@@ -14,21 +14,29 @@ Equivalence contract
 --------------------
 The engine is not an approximation: it persists exactly the band-packed
 entries the scalar :func:`repro.core.genasm_dc.genasm_dc` would store
-(including the traceback-reachability placeholders), reconstructs a
-:class:`repro.core.genasm_dc.DCTable` per lane, and reuses the scalar
-:func:`repro.core.genasm_tb.genasm_traceback`.  Alignments (CIGAR, edit
-distance, consumed text span) and the E-series accounting (DP accesses,
-stored bytes, windows, rows) are therefore identical to the scalar path —
-the test suite asserts this pair-by-pair on the simulated-read corpus.
+(including the traceback-reachability placeholders) and traces every lane
+back over that state with the lockstep decision-word traceback of
+:mod:`repro.batch.traceback`, which replicates the scalar
+:func:`repro.core.genasm_tb.genasm_traceback` bit for bit — decisions *and*
+read accounting.  Alignments (CIGAR, edit distance, consumed text span) and
+the E-series accounting (DP accesses, stored bytes, windows, rows) are
+therefore identical to the scalar path — the differential test harness
+(``tests/test_batch_traceback.py``) asserts this per field across every
+improvement-toggle combination.
 
 Structure
 ---------
-* :func:`run_dc_wave` — the lockstep GenASM-DC kernel over a
-  :class:`repro.batch.soa.SoAWave`; returns one ``DCTable`` per lane.
+* :func:`run_dc_wave_state` — the lockstep GenASM-DC kernel over a
+  :class:`repro.batch.soa.SoAWave`; returns a :class:`WaveDCState` keeping
+  the stored rows in SoA layout (what the lockstep traceback consumes).
+* :func:`run_dc_wave` — compatibility wrapper materialising one scalar
+  :class:`~repro.core.genasm_dc.DCTable` per lane from the wave state.
 * :class:`BatchAlignmentEngine` — the windowed aligner: all pairs advance
   their current window together (one wave per windowing step), lanes whose
   error budget fails are retried in doubling sub-waves, and finished pairs
-  drop out of subsequent waves.
+  drop out of subsequent waves.  Mixed-length batches are scheduled into
+  waves by expected window count (see :meth:`BatchAlignmentEngine.schedule`)
+  so chunked lanes run in lockstep with similarly-sized neighbours.
 
 Patterns wider than 64 characters per window do not fit a ``uint64`` lane;
 such configurations transparently fall back to the scalar aligner (see
@@ -37,24 +45,123 @@ such configurations transparently fall back to the scalar aligner (see
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.batch.soa import MAX_LANE_BITS, LaneJob, SoAWave
+from repro.batch.soa import MAX_LANE_BITS, LaneJob, SoAWave, lockstep_stats
+from repro.batch.traceback import (
+    OPS_BY_CODE,
+    build_wave_decisions,
+    lockstep_traceback,
+)
 from repro.core.alignment import Alignment
 from repro.core.cigar import Cigar, CigarOp
 from repro.core.config import GenASMConfig
 from repro.core.genasm_dc import DCTable
-from repro.core.genasm_tb import genasm_traceback
 from repro.core.improvements import reachable_column_start
 from repro.core.metrics import AccessCounter, MemoryFootprint
-from repro.core.windowing import align_window
 
-__all__ = ["BatchAlignmentEngine", "run_dc_wave", "align_pairs_vectorized"]
+__all__ = [
+    "BatchAlignmentEngine",
+    "WaveDCState",
+    "run_dc_wave",
+    "run_dc_wave_state",
+    "align_pairs_vectorized",
+    "SCHEDULING_POLICIES",
+]
+
+#: Wave-scheduling policies accepted by :class:`BatchAlignmentEngine`.
+SCHEDULING_POLICIES = ("sorted", "fifo")
 
 _U1 = np.uint64(1)
 _U0 = np.uint64(0)
+
+#: Packed op code of CigarOp.INSERTION (see repro.batch.traceback).
+_INSERTION_CODE = next(
+    code for code, op in enumerate(OPS_BY_CODE) if op is CigarOp.INSERTION
+)
+
+
+@dataclass
+class WaveDCState:
+    """Raw SoA outcome of one lockstep GenASM-DC wave.
+
+    Keeps the stored rows exactly as the wave persisted them (band-packed
+    ``uint64`` arrays, or quad tuples without entry compression) so the
+    lockstep traceback can derive its decision words without ever
+    materialising per-lane Python lists.  Per-lane DP accounting has
+    already been charged to each :class:`~repro.batch.soa.LaneJob` counter
+    when this object exists; :meth:`tables` only reshapes state.
+    """
+
+    wave: SoAWave
+    entry_compression: bool
+    early_termination: bool
+    #: per evaluated row: packed R ``(L, n_max + 1)`` or 4-tuple of
+    #: ``(L, n_max)`` intermediates, in SoA layout
+    stored_rows: List[object]
+    #: final-column value per evaluated row, ``(L,)`` each
+    final_cols: List[np.ndarray]
+    rows_computed: np.ndarray
+    #: minimum error level per lane, ``-1`` when the budget failed
+    min_errors: np.ndarray
+
+    def stored_bytes(self) -> np.ndarray:
+        """Per-lane bytes of retained traceback state (E3 accounting)."""
+        wave = self.wave
+        per_entry = wave.entry_store * (1 if self.entry_compression else 4)
+        columns = wave.n + 1 - wave.store_from
+        if self.entry_compression:
+            entries = self.rows_computed * np.maximum(0, columns)
+        else:
+            entries = self.rows_computed * np.maximum(0, np.minimum(columns, wave.n))
+        return entries * per_entry
+
+    def tables(self) -> List[DCTable]:
+        """Materialise one scalar :class:`DCTable` per lane (compat path)."""
+        wave = self.wave
+        tables: List[DCTable] = []
+        for i, job in enumerate(wave.jobs):
+            rows_i = int(self.rows_computed[i])
+            n_i = int(wave.n[i])
+            found = int(self.min_errors[i])
+            table = DCTable(
+                pattern=job.pattern,
+                text=job.text,
+                max_errors=int(wave.k[i]),
+                entry_compression=self.entry_compression,
+                early_termination=self.early_termination,
+                traceback_band=wave.traceback_band,
+                word_bits=wave.word_bits,
+                store_from_column=int(wave.store_from[i]),
+                counter=job.counter,
+            )
+            table.rows_computed = rows_i
+            table.min_errors = found if found >= 0 else None
+            table.final_column = [int(self.final_cols[d][i]) for d in range(rows_i)]
+            if self.entry_compression:
+                table.stored_r = [
+                    self.stored_rows[d][i, : n_i + 1].tolist() for d in range(rows_i)
+                ]
+            else:
+                table.stored_quad = [
+                    list(
+                        zip(
+                            self.stored_rows[d][0][i, :n_i].tolist(),
+                            self.stored_rows[d][1][i, :n_i].tolist(),
+                            self.stored_rows[d][2][i, :n_i].tolist(),
+                            self.stored_rows[d][3][i, :n_i].tolist(),
+                        )
+                    )
+                    for d in range(rows_i)
+                ]
+            table._band_lo = [int(x) for x in wave.band_lo[i, : n_i + 1]]
+            table._band_width = None  # lazily derived; identical to scalar
+            tables.append(table)
+        return tables
 
 
 def run_dc_wave(
@@ -70,6 +177,28 @@ def run_dc_wave(
     :func:`repro.core.genasm_dc.genasm_dc` produces for the same inputs.
     Lanes terminate independently (budget exhausted, or solution found when
     early termination is on); the wave stops once every lane is done.
+    """
+    return run_dc_wave_state(
+        wave,
+        entry_compression=entry_compression,
+        early_termination=early_termination,
+    ).tables()
+
+
+def run_dc_wave_state(
+    wave: SoAWave,
+    *,
+    entry_compression: bool = True,
+    early_termination: bool = True,
+) -> WaveDCState:
+    """Run GenASM-DC over every lane of ``wave``, keeping the SoA state.
+
+    This is the batch engine's hot path: the returned
+    :class:`WaveDCState` feeds the lockstep traceback directly (via
+    :func:`repro.batch.traceback.build_wave_decisions`), avoiding the
+    per-lane Python-list materialisation :func:`run_dc_wave` performs.
+    Per-lane DP accounting (entries, rows, writes, skipped rows) is charged
+    to each lane's counter before returning.
     """
     L = wave.lanes
     n_max = wave.n_max
@@ -171,51 +300,25 @@ def run_dc_wave(
     else:
         writes_per_row = 4 * stored_columns
 
-    tables: List[DCTable] = []
     for i, job in enumerate(wave.jobs):
         rows_i = int(rows_computed[i])
-        n_i = int(n[i])
-        k_i = int(k[i])
         counter = job.counter
-        counter.entries_computed += rows_i * n_i
+        counter.entries_computed += rows_i * int(n[i])
         counter.rows_computed += rows_i
         counter.record_write(rows_i * int(writes_per_row[i]), int(wave.entry_store[i]))
         found = int(min_errors[i])
         if early_termination and found >= 0:
-            counter.rows_skipped += k_i - found
+            counter.rows_skipped += int(k[i]) - found
 
-        table = DCTable(
-            pattern=job.pattern,
-            text=job.text,
-            max_errors=k_i,
-            entry_compression=entry_compression,
-            early_termination=early_termination,
-            traceback_band=traceback_band,
-            word_bits=wave.word_bits,
-            store_from_column=int(wave.store_from[i]),
-            counter=counter,
-        )
-        table.rows_computed = rows_i
-        table.min_errors = found if found >= 0 else None
-        table.final_column = [int(final_cols[d][i]) for d in range(rows_i)]
-        if entry_compression:
-            table.stored_r = [stored_rows[d][i, : n_i + 1].tolist() for d in range(rows_i)]
-        else:
-            table.stored_quad = [
-                list(
-                    zip(
-                        stored_rows[d][0][i, :n_i].tolist(),
-                        stored_rows[d][1][i, :n_i].tolist(),
-                        stored_rows[d][2][i, :n_i].tolist(),
-                        stored_rows[d][3][i, :n_i].tolist(),
-                    )
-                )
-                for d in range(rows_i)
-            ]
-        table._band_lo = [int(x) for x in wave.band_lo[i, : n_i + 1]]
-        table._band_width = None  # lazily derived; identical to scalar
-        tables.append(table)
-    return tables
+    return WaveDCState(
+        wave=wave,
+        entry_compression=entry_compression,
+        early_termination=early_termination,
+        stored_rows=stored_rows,
+        final_cols=final_cols,
+        rows_computed=rows_computed,
+        min_errors=min_errors,
+    )
 
 
 class _PairState:
@@ -226,7 +329,7 @@ class _PairState:
         "text",
         "p",
         "t",
-        "ops",
+        "code_chunks",
         "windows",
         "peak_bytes",
         "total_bytes",
@@ -240,13 +343,31 @@ class _PairState:
         self.text = text
         self.p = 0
         self.t = 0
-        self.ops: List[CigarOp] = []
+        #: per-window packed op codes (see repro.batch.traceback.OPS_BY_CODE)
+        self.code_chunks: List[np.ndarray] = []
         self.windows = 0
         self.peak_bytes = 0
         self.total_bytes = 0
         self.rows_total = 0
         self.counter = AccessCounter()
         self.done = len(pattern) == 0
+
+    def cigar(self) -> Cigar:
+        """Run-length encode the accumulated op codes into a CIGAR."""
+        if not self.code_chunks:
+            return Cigar.from_runs([])
+        codes = (
+            self.code_chunks[0]
+            if len(self.code_chunks) == 1
+            else np.concatenate(self.code_chunks)
+        )
+        boundaries = np.nonzero(np.diff(codes))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [codes.size]))
+        return Cigar.from_runs(
+            (int(end - start), OPS_BY_CODE[codes[start]])
+            for start, end in zip(starts, ends)
+        )
 
 
 class BatchAlignmentEngine:
@@ -269,8 +390,15 @@ class BatchAlignmentEngine:
         Label attached to produced alignments.
     max_lanes:
         Optional cap on concurrent lanes; larger batches are processed in
-        chunks of this many pairs (bounds wave memory, keeps lanes of
-        similar length together when the caller pre-sorts).
+        chunks of this many pairs (bounds wave memory).
+    scheduling:
+        Wave-scheduling policy: ``"sorted"`` (default) orders lanes by
+        expected window count before chunking, so each ``max_lanes``-wide
+        chunk runs lanes of similar lifetime in lockstep (returned
+        alignments are always restored to input order); ``"fifo"`` chunks
+        in input order.  The policy never changes any alignment — only the
+        lockstep efficiency of mixed-length batches (see
+        :meth:`scheduling_stats`).
     """
 
     def __init__(
@@ -279,17 +407,71 @@ class BatchAlignmentEngine:
         *,
         name: str = "genasm-vectorized",
         max_lanes: Optional[int] = None,
+        scheduling: str = "sorted",
     ) -> None:
         self.config = config if config is not None else GenASMConfig()
         self.name = name
         if max_lanes is not None and max_lanes < 1:
             raise ValueError("max_lanes must be at least 1")
+        if scheduling not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_POLICIES}, got {scheduling!r}"
+            )
         self.max_lanes = max_lanes
+        self.scheduling = scheduling
 
     @property
     def vectorizable(self) -> bool:
         """Whether this configuration fits the uint64 lane layout."""
         return self.config.window_size <= MAX_LANE_BITS and self.config.word_bits == 64
+
+    # ------------------------------------------------------------------ #
+    def expected_windows(self, pattern_length: int) -> int:
+        """Number of windowing steps a pattern of this length will take.
+
+        Exact for this engine and for :func:`repro.core.windowing.align_windowed`:
+        each non-final window commits ``window_step`` pattern columns and the
+        final window consumes the rest, so the count depends only on the
+        pattern length.  This is the per-lane "work" quantity the wave
+        scheduler equalises within chunks.
+        """
+        if pattern_length <= 0:
+            return 0
+        window = self.config.window_size
+        if pattern_length <= window:
+            return 1
+        return 1 + math.ceil((pattern_length - window) / self.config.window_step)
+
+    def schedule(self, pairs: Sequence[Tuple[str, str]]) -> List[int]:
+        """Lane order used when chunking ``pairs`` into waves.
+
+        With ``"sorted"`` scheduling, indices are stably ordered by expected
+        window count so lanes of similar lifetime share a chunk — lanes of
+        dissimilar window counts pad each other's waves (the SIMT
+        warp-divergence cost :func:`repro.batch.soa.lockstep_stats` models).
+        ``"fifo"`` returns the identity order.
+        """
+        if self.scheduling == "fifo":
+            return list(range(len(pairs)))
+        return sorted(
+            range(len(pairs)),
+            key=lambda index: self.expected_windows(len(pairs[index][0])),
+        )
+
+    def scheduling_stats(self, pairs: Sequence[Tuple[str, str]]) -> Dict[str, float]:
+        """Lockstep efficiency of this engine's wave schedule over ``pairs``.
+
+        Applies :func:`repro.batch.soa.lockstep_stats` to the scheduled
+        per-lane expected window counts with ``max_lanes``-wide groups —
+        the same model :meth:`repro.gpu.simulator.GpuSimulator.warp_divergence`
+        uses for warps.
+        """
+        group = self.max_lanes if self.max_lanes is not None else max(1, len(pairs))
+        work = [
+            float(self.expected_windows(len(pairs[index][0])))
+            for index in self.schedule(pairs)
+        ]
+        return lockstep_stats(work, group)
 
     # ------------------------------------------------------------------ #
     def align_pairs(
@@ -316,11 +498,13 @@ class BatchAlignmentEngine:
 
         pairs = list(pairs)
         out: List[Optional[Alignment]] = [None] * len(pairs)
+        order = self.schedule(pairs)
         step = self.max_lanes if self.max_lanes is not None else max(1, len(pairs))
-        for start in range(0, len(pairs), step):
-            chunk = pairs[start : start + step]
-            for offset, alignment in enumerate(self._align_chunk(chunk, counter)):
-                out[start + offset] = alignment
+        for start in range(0, len(order), step):
+            chunk_indices = order[start : start + step]
+            chunk = [pairs[index] for index in chunk_indices]
+            for index, alignment in zip(chunk_indices, self._align_chunk(chunk, counter)):
+                out[index] = alignment
         if any(a is None for a in out):
             raise AssertionError("batch engine produced fewer alignments than pairs")
         return out
@@ -347,22 +531,16 @@ class BatchAlignmentEngine:
                 commit = w if last_window else max(1, min(w, min(config.window_step, w)))
 
                 if len(window_text) == 0:
-                    # No DP to vectorize: delegate to the scalar early-return
-                    # path so its semantics stay single-sourced.
-                    result = align_window(
-                        window_pattern,
-                        window_text,
-                        config,
-                        counter=s.counter,
-                        commit_columns=commit,
-                    )
+                    # No DP to run: the committed pattern prefix is emitted
+                    # as insertions (align_window's empty-text early return,
+                    # inlined so _apply_window owns all window accounting).
                     self._apply_window(
                         s,
-                        ops=result.ops,
-                        pattern_consumed=result.pattern_consumed,
-                        text_consumed=result.text_consumed,
-                        rows=result.rows_computed,
-                        stored=result.stored_bytes,
+                        codes=np.full(commit, _INSERTION_CODE, dtype=np.int8),
+                        pattern_consumed=commit,
+                        text_consumed=0,
+                        rows=0,
+                        stored=0,
                     )
                     continue
                 wave_members.append((s, window_pattern, window_text, commit, w))
@@ -378,7 +556,7 @@ class BatchAlignmentEngine:
         model_bytes = footprint.bytes_for_config(config)
         alignments: List[Alignment] = []
         for s in states:
-            cigar = Cigar.from_ops(s.ops)
+            cigar = s.cigar()
             metadata = {
                 "windows": s.windows,
                 "rows_computed": s.rows_total,
@@ -408,7 +586,14 @@ class BatchAlignmentEngine:
     def _run_wave(
         self, members: Sequence[Tuple[_PairState, str, str, int, int]]
     ) -> None:
-        """Run one windowing step for every member, with retry sub-waves."""
+        """Run one windowing step for every member, with retry sub-waves.
+
+        Both phases of the window are lockstep over the whole wave: the DC
+        kernel (:func:`run_dc_wave_state`) and the decision-word traceback
+        (:func:`repro.batch.traceback.lockstep_traceback`).  Lanes whose
+        error budget failed skip the traceback and retry with a doubled
+        budget in the next sub-wave.
+        """
         config = self.config
         # (state, rev_pattern, rev_text, commit, window_text_len, budget)
         pending = [
@@ -433,51 +618,77 @@ class BatchAlignmentEngine:
             wave = SoAWave(
                 jobs, traceback_band=config.traceback_band, word_bits=config.word_bits
             )
-            tables = run_dc_wave(
+            state = run_dc_wave_state(
                 wave,
                 entry_compression=config.entry_compression,
                 early_termination=config.early_termination,
             )
 
+            solved = state.min_errors >= 0
             retries = []
-            for (s, rev_p, rev_t, commit, wt_len, budget), table in zip(pending, tables):
-                if table.min_errors is None:
+            for lane, (s, rev_p, rev_t, commit, wt_len, budget) in enumerate(pending):
+                if not solved[lane]:
                     m = len(rev_p)
                     if budget >= m:
                         raise AssertionError(
                             "GenASM window failed with a full error budget (internal error)"
                         )
                     retries.append((s, rev_p, rev_t, commit, wt_len, min(m, budget * 2)))
-                    continue
-                ops, text_stop = genasm_traceback(
-                    table, priority=config.match_priority, max_pattern_columns=commit
+
+            if solved.any():
+                # The walk only descends from solved lanes' min_errors, so
+                # rows above that (computed for still-retrying lanes) need
+                # no decision words.
+                rows_needed = int(state.min_errors[solved].max()) + 1
+                decisions = build_wave_decisions(
+                    wave,
+                    state.stored_rows[:rows_needed],
+                    entry_compression=config.entry_compression,
                 )
-                s.counter.windows += 1
-                self._apply_window(
-                    s,
-                    ops=ops,
-                    pattern_consumed=sum(1 for op in ops if op.consumes_pattern),
-                    text_consumed=wt_len - text_stop,
-                    rows=table.rows_computed,
-                    stored=table.stored_bytes(),
+                tracebacks = lockstep_traceback(
+                    wave,
+                    decisions,
+                    start_errors=state.min_errors,
+                    budgets=np.array([p[3] for p in pending], dtype=np.int64),
+                    priority=config.match_priority,
+                    active=solved,
                 )
+                stored = state.stored_bytes()
+                for lane, (s, _rev_p, _rev_t, _commit, wt_len, _budget) in enumerate(
+                    pending
+                ):
+                    tb = tracebacks[lane]
+                    if tb is None:
+                        continue
+                    self._apply_window(
+                        s,
+                        codes=tb.codes,
+                        pattern_consumed=tb.pattern_consumed,
+                        text_consumed=wt_len - tb.text_stop,
+                        rows=int(state.rows_computed[lane]),
+                        stored=int(stored[lane]),
+                    )
             pending = retries
 
     @staticmethod
     def _apply_window(
         s: _PairState,
         *,
-        ops: List[CigarOp],
+        codes: np.ndarray,
         pattern_consumed: int,
         text_consumed: int,
         rows: int,
         stored: int,
     ) -> None:
+        # Single home of window accounting: the E-series counter and the
+        # per-pair metadata tally advance together, once per committed
+        # window (never per retry sub-wave).
         s.windows += 1
+        s.counter.windows += 1
         s.peak_bytes = max(s.peak_bytes, stored)
         s.total_bytes += stored
         s.rows_total += rows
-        s.ops.extend(ops)
+        s.code_chunks.append(codes)
         s.p += pattern_consumed
         s.t += text_consumed
         if pattern_consumed == 0:

@@ -21,14 +21,26 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.bitvector import all_ones, pattern_bitmasks_zero_match
-from repro.core.improvements import band_width, entry_bytes
+from repro.core.bitvector import pattern_bitmasks_zero_match
 from repro.core.metrics import AccessCounter
 
 __all__ = ["LaneJob", "SoAWave", "lockstep_stats"]
 
 #: Widest pattern window a single uint64 lane can hold.
 MAX_LANE_BITS = 64
+
+
+def _all_ones_u64(width: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.core.bitvector.all_ones` for widths 1..64.
+
+    ``(1 << (w - 1)) - 1) * 2 + 1`` avoids the ``1 << 64`` overflow at full
+    width.  The differential tests pin this (and the other vectorized
+    re-derivations below) to the scalar helpers in
+    :mod:`repro.core.improvements`.
+    """
+    return (
+        ((np.uint64(1) << (width - 1).astype(np.uint64)) - np.uint64(1)) * np.uint64(2)
+    ) + np.uint64(1)
 
 
 @dataclass
@@ -99,17 +111,8 @@ class SoAWave:
         )
         self.n_max = int(self.n.max())
         self.k_max = int(self.k.max())
-        ones_py = [all_ones(len(j.pattern)) for j in self.jobs]
-        self.ones = np.array(ones_py, dtype=np.uint64)
-
-        masks = np.empty((L, self.n_max), dtype=np.uint64)
-        for i, job in enumerate(self.jobs):
-            pm = pattern_bitmasks_zero_match(job.pattern)
-            lane_ones = ones_py[i]
-            row = [pm.get(c, lane_ones) for c in job.text]
-            row.extend([lane_ones] * (self.n_max - len(row)))
-            masks[i, :] = row
-        self.masks = masks
+        self.ones = _all_ones_u64(self.m)  # m >= 1 per LaneJob
+        self.masks = self._build_masks()
 
         if traceback_band:
             self.store_from = np.array(
@@ -126,22 +129,79 @@ class SoAWave:
             self.band_lo = lo.astype(np.uint64)
         else:
             self.band_lo = np.zeros((L, self.n_max + 1), dtype=np.uint64)
-        self.band_mask = np.array(
-            [all_ones(band_width(int(mi), int(ki))) for mi, ki in zip(self.m, self.k)],
-            dtype=np.uint64,
-        )
+        # band_width(m, k), vectorized; never zero because m >= 1.
+        width = np.minimum(self.m, 2 * self.k + 2)
+        self.band_mask = _all_ones_u64(width)
         #: columns that are persisted per lane (inside the lane's text and
         #: at/after its store_from column)
         self.store_col = (cols[None, :] >= self.store_from[:, None]) & (
             cols[None, :] <= self.n[:, None]
         )
-        self.entry_store = np.array(
-            [
-                entry_bytes(max(1, int(mi)), int(ki), word_bits, traceback_band)
-                for mi, ki in zip(self.m, self.k)
-            ],
-            dtype=np.int64,
+        # entry_bytes, vectorized: full words without the band improvement,
+        # else the smallest power-of-two unit (8..word_bits bits) covering
+        # the band width.
+        if not traceback_band:
+            words = np.maximum(1, -(-self.m // word_bits))
+            self.entry_store = (words * (word_bits // 8)).astype(np.int64)
+        else:
+            target = np.minimum(width, word_bits)
+            unit = np.full(L, 8, dtype=np.int64)
+            while (unit < target).any():  # 8 -> 16 -> ... -> word_bits
+                unit = np.where(unit < target, unit * 2, unit)
+            unit = np.minimum(unit, word_bits)
+            self.entry_store = ((unit // 8) * np.maximum(1, -(-width // unit))).astype(
+                np.int64
+            )
+
+    # ------------------------------------------------------------------ #
+    def _build_masks(self) -> np.ndarray:
+        """GenASM zero-match text masks for every lane, built in bulk.
+
+        Equivalent to ``pattern_bitmasks_zero_match`` per lane and text
+        character, but computed as one boolean character-equality tensor
+        packed into ``uint64`` words (``np.packbits``), so wave setup stays
+        O(array ops) instead of O(lanes × window) Python-dict lookups.
+        Falls back to the per-lane scalar path for non-Latin-1 sequences.
+        """
+        L = self.lanes
+        try:
+            pattern_buffer = b"".join(
+                job.pattern.encode("latin-1").ljust(MAX_LANE_BITS, b"\x00")
+                for job in self.jobs
+            )
+            text_buffer = b"".join(
+                job.text.encode("latin-1").ljust(self.n_max, b"\x00")
+                for job in self.jobs
+            )
+        except UnicodeEncodeError:
+            masks = np.empty((L, self.n_max), dtype=np.uint64)
+            for i, job in enumerate(self.jobs):
+                pm = pattern_bitmasks_zero_match(job.pattern)
+                lane_ones = int(self.ones[i])
+                row = [pm.get(c, lane_ones) for c in job.text]
+                row.extend([lane_ones] * (self.n_max - len(row)))
+                masks[i, :] = row
+            return masks
+
+        patterns = np.frombuffer(pattern_buffer, dtype=np.uint8).reshape(
+            L, MAX_LANE_BITS
         )
+        texts = np.frombuffer(text_buffer, dtype=np.uint8).reshape(L, self.n_max)
+        # match[lane, j, i]: does pattern bit i match text character j?
+        # (NUL padding never equals a real sequence character, and bits at
+        # or above a lane's pattern length are cleared by `ones` below.)
+        match = patterns[:, None, :] == texts[:, :, None]
+        # Explicit little-endian view: packbits(bitorder="little") fills
+        # logical bits 8k..8k+7 into byte k, which only matches a native
+        # uint64 view on little-endian hosts.
+        match_words = (
+            np.ascontiguousarray(np.packbits(match, axis=2, bitorder="little"))
+            .view("<u8")[:, :, 0]
+            .astype(np.uint64)
+        )
+        # Zero-active semantics: bit i is 0 iff the characters match;
+        # padded columns read as "matches nowhere" (the lane's ones).
+        return self.ones[:, None] & ~match_words
 
 
 def lockstep_stats(work: Sequence[float], group_size: int) -> Dict[str, float]:

@@ -1,0 +1,390 @@
+"""Lockstep GenASM-TB: vectorized traceback over a whole wave of lanes.
+
+The scalar traceback (:func:`repro.core.genasm_tb.genasm_traceback`) walks
+one window at a time, evaluating the four decision predicates
+(:func:`repro.core.genasm_tb.traceback_conditions`) with Python-int bit
+queries at every step.  For a wave that cost dominates the batch engine —
+profiling puts 2-3× more time in per-lane traceback than in the lockstep
+DC kernel.  This module removes that scalar hot path in two moves:
+
+1. **Decision words** (:func:`build_wave_decisions`): for every lane, error
+   level ``d`` and text column ``j``, the four predicates are evaluated for
+   *all* pattern bits ``i`` at once and packed into one ``uint64`` word per
+   (operation, d, j) — bit ``i`` of ``cm[d, lane, j]`` is set iff a match
+   step is legal at ``(j, d, i)``.  The words are derived directly from the
+   SoA-packed rows the DC wave stored (band-packed or full-width, single-R
+   or quad storage), so they encode exactly the decisions the scalar
+   predicates would take over the same stored state.
+2. **Lockstep walk** (:func:`lockstep_traceback`): all live lanes advance
+   their traceback cursor ``(j, d, i)`` together, one NumPy step per CIGAR
+   column; a lane that exhausts its pattern budget drops out of the active
+   mask, mirroring the warp model of
+   :func:`repro.batch.soa.lockstep_stats`.
+
+Equivalence contract
+--------------------
+The walk is byte-identical to the scalar traceback, including the E-series
+accounting: ``tb_steps`` is charged per emitted operation, and ``dp_reads``
+/ ``bytes_read`` replicate the short-circuit evaluation order of the scalar
+priority loop (a condition evaluated but false still paid its read; a
+``bit < 0`` probe or a ``d < 1`` guard never reached the stored table).
+The differential test harness (``tests/test_batch_traceback.py``) asserts
+this per-field across every improvement-toggle combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch.soa import SoAWave
+from repro.core.cigar import CigarOp
+from repro.core.genasm_tb import TracebackError
+
+__all__ = [
+    "OPS_BY_CODE",
+    "WaveDecisions",
+    "LaneTraceback",
+    "build_wave_decisions",
+    "lockstep_traceback",
+]
+
+_U1 = np.uint64(1)
+
+#: Fixed op codes used in the packed opcode buffer (independent of priority).
+_CODE_BY_LETTER = {"M": 0, "S": 1, "I": 2, "D": 3}
+OPS_BY_CODE = np.array(
+    [CigarOp.MATCH, CigarOp.MISMATCH, CigarOp.INSERTION, CigarOp.DELETION],
+    dtype=object,
+)
+
+
+@dataclass
+class WaveDecisions:
+    """Packed decision words for every lane of one wave.
+
+    ``cm``/``cs``/``ci``/``cd`` are ``uint64`` arrays of shape
+    ``(rows, lanes, n_max + 1)``; bit ``i`` of ``cX[d, lane, j]`` says the
+    corresponding operation (match / substitution / insertion / deletion)
+    is a legal traceback step at ``(j, d, i)`` for that lane.  ``char_eq``
+    (``(lanes, n_max + 1)``) has bit ``i`` set iff ``pattern[i]`` equals
+    ``text[j - 1]``; the walk uses it to replicate the scalar read
+    accounting (the match predicate only touches the stored table when the
+    characters actually match).  Column 0 of every plane is unused — the
+    walk handles ``j == 0`` as the unconditional-insertion branch, exactly
+    like the scalar loop.
+    """
+
+    #: one (rows, lanes, n_max + 1) uint64 plane per operation, stacked in
+    #: the fixed M, S, I, D order of :data:`OPS_BY_CODE` — ``cm`` etc. are
+    #: views into this single allocation
+    planes: np.ndarray
+    char_eq: np.ndarray
+    compressed: bool
+
+    @property
+    def rows(self) -> int:
+        return self.planes.shape[1]
+
+    @property
+    def cm(self) -> np.ndarray:
+        return self.planes[0]
+
+    @property
+    def cs(self) -> np.ndarray:
+        return self.planes[1]
+
+    @property
+    def ci(self) -> np.ndarray:
+        return self.planes[2]
+
+    @property
+    def cd(self) -> np.ndarray:
+        return self.planes[3]
+
+    def plane(self, letter: str) -> np.ndarray:
+        """The decision plane for one priority letter (M/S/I/D)."""
+        return self.planes["MSID".index(letter)]
+
+    def bit(self, letter: str, lane: int, d: int, j: int, i: int) -> bool:
+        """Scalar probe of one decision bit (used by the differential tests)."""
+        word = int(self.plane(letter)[d, lane, j])
+        return bool((word >> i) & 1)
+
+
+def _zero_words(stored: np.ndarray, wave: SoAWave, band_lo: np.ndarray) -> np.ndarray:
+    """Word-per-column "bit is zero (active)" view of stored bitvectors.
+
+    Bit ``b`` of the result is set iff logical bit ``b`` of the stored
+    value reads as zero through the band-aware accessors; bits outside the
+    stored band read as one (inactive) there, hence stay clear here.
+    """
+    if wave.traceback_band:
+        return ((~stored) & wave.band_mask[:, None]) << band_lo
+    return ~stored
+
+
+def build_wave_decisions(
+    wave: SoAWave,
+    stored_rows: Sequence[object],
+    *,
+    entry_compression: bool,
+) -> WaveDecisions:
+    """Precompute the lockstep decision words for one DC wave.
+
+    ``stored_rows`` is the per-row storage exactly as the DC wave persisted
+    it: with entry compression one ``(lanes, n_max + 1)`` array of (possibly
+    band-packed) ``R`` values per row, otherwise a 4-tuple of
+    ``(lanes, n_max)`` arrays holding the match/subst/ins/del intermediates
+    for columns ``1..n``.  Callers whose walk only starts from error levels
+    below ``len(stored_rows)`` may pass a row-sliced prefix.  The returned
+    planes reproduce, for every ``(d, j, i)``, the verdicts of
+    :func:`repro.core.genasm_tb.traceback_conditions` over the same state.
+    """
+    L = wave.lanes
+    cols = wave.n_max + 1
+    rows = len(stored_rows)
+    planes = np.zeros((4, rows, L, cols), dtype=np.uint64)
+    cm, cs, ci, cd = planes
+
+    char_eq = np.zeros((L, cols), dtype=np.uint64)
+    char_eq[:, 1:] = (~wave.masks) & wave.ones[:, None]
+
+    if entry_compression:
+        # One stored R word per entry; the four conditions re-derive their
+        # verdicts from neighbouring R entries, shifted so bit i of the
+        # plane asks about bit i-1 of R (with bit -1 always active).
+        zero = [_zero_words(stored_rows[d], wave, wave.band_lo) for d in range(rows)]
+        for d in range(rows):
+            z_d = zero[d]
+            cm[d, :, 1:] = char_eq[:, 1:] & (((z_d[:, :-1]) << _U1) | _U1)
+            if d >= 1:
+                z_prev = zero[d - 1]
+                cs[d, :, 1:] = ((z_prev[:, :-1]) << _U1) | _U1
+                ci[d, :, 1:] = ((z_prev[:, 1:]) << _U1) | _U1
+                cd[d, :, 1:] = z_prev[:, :-1]
+    else:
+        # Quad storage keeps the four already-shifted intermediates of row
+        # d at column j, so each plane is a direct zero-bit view of one
+        # stored vector.  Row 0 has no subst/ins/del steps (d < 1).
+        lo_q = wave.band_lo[:, 1:]
+        for d in range(rows):
+            match_row, subst_row, ins_row, del_row = stored_rows[d]
+            cm[d, :, 1:] = _zero_words(match_row, wave, lo_q)
+            if d >= 1:
+                cs[d, :, 1:] = _zero_words(subst_row, wave, lo_q)
+                ci[d, :, 1:] = _zero_words(ins_row, wave, lo_q)
+                cd[d, :, 1:] = _zero_words(del_row, wave, lo_q)
+
+    return WaveDecisions(planes=planes, char_eq=char_eq, compressed=entry_compression)
+
+
+@dataclass
+class LaneTraceback:
+    """Traceback of one lane: CIGAR op codes plus the consumed window spans.
+
+    ``codes`` holds one entry of :data:`OPS_BY_CODE` indices per emitted
+    operation, in traceback order; :meth:`ops` materialises
+    :class:`~repro.core.cigar.CigarOp` objects when a caller needs them
+    (the batch engine instead run-length encodes the raw codes).
+    """
+
+    codes: np.ndarray
+    text_stop: int
+    pattern_consumed: int
+
+    def ops(self) -> List[CigarOp]:
+        """The emitted operations as ``CigarOp`` objects."""
+        return OPS_BY_CODE[self.codes].tolist()
+
+
+#: Cache of per-(priority, compressed) step lookup tables; the walk folds
+#: the scalar priority loop (first true condition wins) and its
+#: short-circuit read accounting into three tiny gathers per step.
+_STEP_LUTS: dict = {}
+
+
+def _step_luts(priority: str, compressed: bool):
+    """(POS, CODE, READS) lookup tables for one priority/storage mode.
+
+    ``key = b0*8 + b1*4 + b2*2 + b3`` packs the four condition bits in
+    priority order; ``POS[key]`` is the first true position (4 if none) and
+    ``CODE[key]`` the fixed op code of that letter.  ``READS[pos * 8 + g]``
+    — with gate bits ``g = char*4 + (d>=1)*2 + (i>=1)`` — counts the DP
+    reads the scalar loop performs evaluating positions ``0..pos``:
+    a compressed match probe reads only when the characters match and
+    ``i >= 1``; compressed subst/ins probes need ``d >= 1`` and ``i >= 1``;
+    deletion (and every quad-mode probe) needs only ``d >= 1``; quad-mode
+    match always reads.
+    """
+    cached = _STEP_LUTS.get((priority, compressed))
+    if cached is not None:
+        return cached
+
+    pos_lut = np.full(16, 4, dtype=np.uint64)
+    code_lut = np.full(16, _CODE_BY_LETTER["I"], dtype=np.int64)
+    for key in range(16):
+        for pos in range(4):
+            if key & (8 >> pos):
+                pos_lut[key] = pos
+                code_lut[key] = _CODE_BY_LETTER[priority[pos]]
+                break
+
+    def gate(letter: str, char: bool, dge1: bool, ige1: bool) -> bool:
+        if compressed:
+            if letter == "M":
+                return char and ige1
+            if letter == "D":
+                return dge1
+            return dge1 and ige1
+        return True if letter == "M" else dge1
+
+    reads_lut = np.zeros(5 * 8, dtype=np.int64)
+    for pos in range(5):
+        for g in range(8):
+            char, dge1, ige1 = bool(g & 4), bool(g & 2), bool(g & 1)
+            evaluated = priority[: min(pos, 3) + 1]
+            reads_lut[pos * 8 + g] = sum(
+                gate(letter, char, dge1, ige1) for letter in evaluated
+            )
+
+    luts = (pos_lut, code_lut, reads_lut)
+    _STEP_LUTS[(priority, compressed)] = luts
+    return luts
+
+
+#: Cursor deltas per op code (M, S, I, D): text column, error level,
+#: pattern bit/consumed columns.
+_DELTA_J = np.array([1, 1, 0, 1], dtype=np.int64)
+_DELTA_D = np.array([0, 1, 1, 1], dtype=np.int64)
+_DELTA_I = np.array([1, 1, 1, 0], dtype=np.int64)
+
+
+def lockstep_traceback(
+    wave: SoAWave,
+    decisions: WaveDecisions,
+    *,
+    start_errors: np.ndarray,
+    budgets: np.ndarray,
+    priority: str = "MSDI",
+    active: Optional[np.ndarray] = None,
+) -> List[Optional[LaneTraceback]]:
+    """Walk every live lane's traceback in lockstep NumPy steps.
+
+    Parameters
+    ----------
+    start_errors:
+        Per-lane error level to start from (``min_errors`` of the DC wave);
+        lanes excluded via ``active`` may hold any value.
+    budgets:
+        Per-lane ``max_pattern_columns`` (the committed window columns);
+        clamped to the lane's pattern length, as the scalar traceback does.
+    priority:
+        Tie-break order over {M, S, D, I}, shared by the whole wave.
+    active:
+        Boolean lane mask; lanes outside it (e.g. retry candidates whose
+        budget failed) are skipped and reported as ``None``.
+
+    Each lane's :class:`~repro.core.metrics.AccessCounter` receives exactly
+    the ``tb_steps`` / ``dp_reads`` / ``bytes_read`` the scalar traceback
+    would have charged for the same window.
+    """
+    L = wave.lanes
+    m, n = wave.m, wave.n
+    walk = np.ones(L, dtype=bool) if active is None else active.astype(bool).copy()
+
+    j = np.where(walk, n, 0).astype(np.int64)
+    i = np.where(walk, m - 1, -1).astype(np.int64)
+    d = np.where(walk, start_errors, 0).astype(np.int64)
+    budget = np.minimum(m, np.asarray(budgets, dtype=np.int64))
+    consumed = np.zeros(L, dtype=np.int64)
+
+    live = walk & (i >= 0) & (consumed < budget)
+    # Any valid traceback is shorter than this (the scalar loop's guard).
+    max_steps = int((2 * (m + n) + 4).max()) if L else 0
+    # One opcode row per step (plain row writes beat per-lane scatters); a
+    # lane's first nsteps entries of its column are its traceback.  nsteps
+    # doubles as the per-lane tb_steps tally: every scalar loop iteration
+    # emits exactly one operation.
+    opcodes = np.zeros((max_steps + 1, L), dtype=np.int8)
+    nsteps = np.zeros(L, dtype=np.int64)
+    reads = np.zeros(L, dtype=np.int64)
+
+    pos_lut, code_lut, reads_lut = _step_luts(priority, decisions.compressed)
+    # Flat-index views of the planes (no copies).  Plane p (fixed M,S,I,D
+    # storage order) contributes key weight 8 >> its-position-in-priority,
+    # so `key` packs the condition bits in priority order for the LUTs.
+    cols = decisions.char_eq.shape[1]
+    planes_flat = decisions.planes.reshape(4, -1)
+    char_flat = decisions.char_eq.reshape(-1)
+    weights = np.array(
+        [8 >> priority.index(letter) for letter in "MSID"], dtype=np.uint64
+    )[:, None]
+    lanes = np.arange(L)
+    lane_cols = lanes * cols
+    plane_stride = L * cols
+    step = 0
+
+    while live.any():
+        if step > max_steps:
+            raise TracebackError("traceback did not terminate (internal error)")
+
+        # Clamped plane coordinates: j == 0 lanes (whose verdict is
+        # overridden below) and finished lanes read a harmless word.
+        jq = np.maximum(j, 1)
+        dq = np.maximum(d, 0)
+        shift = np.maximum(i, 0).astype(np.uint64)
+
+        flat = dq * plane_stride + lane_cols + jq
+        words = planes_flat[:, flat]  # (4, L) condition words
+        bits = (words >> shift) & _U1
+        char_bit = (char_flat[lane_cols + jq] >> shift) & _U1
+        key = (bits * weights).sum(axis=0)
+
+        at0 = j == 0
+        considered = live & ~at0
+        bad = considered & (key == 0)
+        if bad.any():
+            lane = int(np.nonzero(bad)[0][0])
+            raise TracebackError(
+                f"no traceback step possible at text={int(j[lane])}, "
+                f"errors={int(d[lane])}, bit={int(i[lane])}"
+            )
+
+        # Read accounting for the scalar priority loop, via the LUT over
+        # (first-true position, gate bits).
+        gates = char_bit * np.uint64(4) + (d >= 1) * np.uint64(2) + (i >= 1) * _U1
+        step_reads = reads_lut[pos_lut[key] * np.uint64(8) + gates]
+        reads += step_reads * considered
+
+        # j == 0 lanes take the unconditional-insertion branch, which is
+        # the same cursor update as a chosen "I" step.
+        code = np.where(at0, _CODE_BY_LETTER["I"], code_lut[key])
+        opcodes[step] = code
+        nsteps += live
+        step += 1
+
+        delta_i = _DELTA_I[code] * live
+        j -= _DELTA_J[code] * live
+        d -= _DELTA_D[code] * live
+        i -= delta_i
+        consumed += delta_i
+        live &= i >= 0
+        live &= consumed < budget
+
+    results: List[Optional[LaneTraceback]] = [None] * L
+    for lane in np.nonzero(walk)[0]:
+        lane = int(lane)
+        counter = wave.jobs[lane].counter
+        counter.tb_steps += int(nsteps[lane])
+        lane_reads = int(reads[lane])
+        counter.dp_reads += lane_reads
+        counter.bytes_read += lane_reads * int(wave.entry_store[lane])
+        results[lane] = LaneTraceback(
+            codes=opcodes[: int(nsteps[lane]), lane].copy(),
+            text_stop=int(j[lane]),
+            pattern_consumed=int(consumed[lane]),
+        )
+    return results

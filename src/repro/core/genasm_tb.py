@@ -33,7 +33,12 @@ from repro.core.bitvector import all_ones, bit_is_zero, pattern_bitmasks_zero_ma
 from repro.core.cigar import CigarOp
 from repro.core.genasm_dc import DCTable
 
-__all__ = ["genasm_traceback", "genasm_traceback_compressed", "TracebackError"]
+__all__ = [
+    "genasm_traceback",
+    "genasm_traceback_compressed",
+    "traceback_conditions",
+    "TracebackError",
+]
 
 
 class TracebackError(RuntimeError):
@@ -50,6 +55,62 @@ _PRIORITY_OPS = {
     "I": CigarOp.INSERTION,
     "D": CigarOp.DELETION,
 }
+
+
+def traceback_conditions(table: DCTable):
+    """Build the four traceback decision predicates over ``table``.
+
+    Returns a mapping ``{"M": p, "S": p, "I": p, "D": p}`` of predicates
+    ``p(j, d, i) -> bool`` telling whether the corresponding operation is a
+    legal traceback step at text column ``j``, error level ``d`` and pattern
+    bit ``i``.  The predicates read the stored DC state through
+    :meth:`DCTable.r_bit` / :meth:`DCTable.quad_bit` and therefore charge
+    ``table.counter`` for every DP read they perform, exactly as the scalar
+    traceback loop does.
+
+    This factory is the single source of truth for the decision semantics:
+    :func:`genasm_traceback` consumes it step by step, and the vectorized
+    lockstep traceback (:mod:`repro.batch.traceback`) precomputes the same
+    predicates as packed per-row decision words — the differential test
+    harness asserts both formulations agree bit for bit.
+    """
+    pattern, text = table.pattern, table.text
+    m = len(pattern)
+    ones = all_ones(m)
+    pm = pattern_bitmasks_zero_match(pattern)
+    compressed = table.entry_compression
+
+    def char_matches(i: int, j: int) -> bool:
+        mask = pm.get(text[j - 1], ones)
+        return bit_is_zero(mask, i)
+
+    def cond_match(j: int, dd: int, i: int) -> bool:
+        if compressed:
+            return char_matches(i, j) and table.r_bit(dd, j - 1, i - 1)
+        return table.quad_bit(dd, j, 0, i)
+
+    def cond_subst(j: int, dd: int, i: int) -> bool:
+        if dd < 1:
+            return False
+        if compressed:
+            return table.r_bit(dd - 1, j - 1, i - 1)
+        return table.quad_bit(dd, j, 1, i)
+
+    def cond_ins(j: int, dd: int, i: int) -> bool:
+        if dd < 1:
+            return False
+        if compressed:
+            return table.r_bit(dd - 1, j, i - 1)
+        return table.quad_bit(dd, j, 2, i)
+
+    def cond_del(j: int, dd: int, i: int) -> bool:
+        if dd < 1:
+            return False
+        if compressed:
+            return table.r_bit(dd - 1, j - 1, i)
+        return table.quad_bit(dd, j, 3, i)
+
+    return {"M": cond_match, "S": cond_subst, "I": cond_ins, "D": cond_del}
 
 
 def genasm_traceback(
@@ -98,43 +159,8 @@ def genasm_traceback(
     if m == 0:
         return [], n
 
-    ones = all_ones(m)
-    pm = pattern_bitmasks_zero_match(pattern)
     counter = table.counter
-
-    def char_matches(i: int, j: int) -> bool:
-        mask = pm.get(text[j - 1], ones)
-        return bit_is_zero(mask, i)
-
-    compressed = table.entry_compression
-
-    def cond_match(j: int, dd: int, i: int) -> bool:
-        if compressed:
-            return char_matches(i, j) and table.r_bit(dd, j - 1, i - 1)
-        return table.quad_bit(dd, j, 0, i)
-
-    def cond_subst(j: int, dd: int, i: int) -> bool:
-        if dd < 1:
-            return False
-        if compressed:
-            return table.r_bit(dd - 1, j - 1, i - 1)
-        return table.quad_bit(dd, j, 1, i)
-
-    def cond_ins(j: int, dd: int, i: int) -> bool:
-        if dd < 1:
-            return False
-        if compressed:
-            return table.r_bit(dd - 1, j, i - 1)
-        return table.quad_bit(dd, j, 2, i)
-
-    def cond_del(j: int, dd: int, i: int) -> bool:
-        if dd < 1:
-            return False
-        if compressed:
-            return table.r_bit(dd - 1, j - 1, i)
-        return table.quad_bit(dd, j, 3, i)
-
-    conditions = {"M": cond_match, "S": cond_subst, "I": cond_ins, "D": cond_del}
+    conditions = traceback_conditions(table)
 
     ops: List[CigarOp] = []
     j, i = n, m - 1

@@ -120,7 +120,11 @@ class GpuSimulator:
         return resident_threads / spec.max_threads_per_sm
 
     def warp_divergence(
-        self, profiles: Sequence[PairProfile], *, warp_size: Optional[int] = None
+        self,
+        profiles: Sequence[PairProfile],
+        *,
+        warp_size: Optional[int] = None,
+        schedule: str = "fifo",
     ) -> Dict[str, float]:
         """Warp-level lockstep model over a profiled batch.
 
@@ -131,9 +135,21 @@ class GpuSimulator:
         :func:`repro.batch.soa.lockstep_stats` over the profiled per-pair
         compute work; ``efficiency`` is the fraction of issued lockstep
         slots doing useful work.
+
+        ``schedule`` mirrors the CPU batch engine's wave scheduler:
+        ``"fifo"`` fills warps in submission order, ``"sorted"`` orders
+        problems by per-pair work first (the
+        :meth:`repro.batch.BatchAlignmentEngine.schedule` policy), which
+        packs similarly-sized problems into the same warp and raises
+        lockstep efficiency on mixed-length batches.
         """
+        if schedule not in ("fifo", "sorted"):
+            raise ValueError(f"schedule must be 'fifo' or 'sorted', got {schedule!r}")
         warp = warp_size if warp_size is not None else self.spec.warp_size
-        return lockstep_stats([p.cost.compute_ops for p in profiles], warp)
+        work = [p.cost.compute_ops for p in profiles]
+        if schedule == "sorted":
+            work = sorted(work)
+        return lockstep_stats(work, warp)
 
     def simulate(
         self,
@@ -144,6 +160,7 @@ class GpuSimulator:
         keep_alignments: bool = True,
         workload_multiplier: float = 1.0,
         warp_lockstep: bool = False,
+        warp_schedule: str = "fifo",
     ) -> SimulationResult:
         """Profile (or reuse profiles of) a batch and estimate its GPU runtime.
 
@@ -154,7 +171,14 @@ class GpuSimulator:
         additionally charges the compute roof for warp divergence: lanes of
         a warp (one problem per lane, the :mod:`repro.batch` layout) run in
         lockstep, so the issued work is the per-warp maximum, not the mean.
+        ``warp_schedule`` selects how problems are packed into warps for
+        that divergence charge (``"fifo"`` or ``"sorted"``, matching the
+        CPU engine's wave-scheduling policies).
         """
+        if warp_schedule not in ("fifo", "sorted"):
+            raise ValueError(
+                f"warp_schedule must be 'fifo' or 'sorted', got {warp_schedule!r}"
+            )
         kernel = kernel or GenASMKernelSpec()
         if profiles is None:
             profiles = kernel.profile_batch(list(pairs))
@@ -171,7 +195,8 @@ class GpuSimulator:
 
         lane_efficiency = 1.0
         if warp_lockstep and profiles:
-            lane_efficiency = max(1e-3, self.warp_divergence(profiles)["efficiency"])
+            stats = self.warp_divergence(profiles, schedule=warp_schedule)
+            lane_efficiency = max(1e-3, stats["efficiency"])
 
         compute_rate = self.spec.peak_word_ops_per_second * GPU_COMPUTE_EFFICIENCY
         compute_seconds = total.compute_ops / (

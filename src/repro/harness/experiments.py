@@ -138,6 +138,7 @@ def run_batched_throughput_experiment(
     config: Optional[GenASMConfig] = None,
     workers: int = 2,
     include_process: bool = True,
+    scheduling_lanes: int = 32,
 ) -> List[Dict[str, object]]:
     """E1v: batched variant of the CPU-throughput experiment.
 
@@ -150,6 +151,11 @@ def run_batched_throughput_experiment(
     NaN; the rows instead carry an ``identical_results`` flag asserting the
     backends produced byte-identical CIGARs and edit distances, which is
     the correctness contract of the vectorized engine.
+
+    The vectorized row also reports the wave-scheduling diagnostics: the
+    lockstep efficiency of ``scheduling_lanes``-wide waves over this
+    workload under the engine's sorted policy versus fifo chunking (see
+    :meth:`repro.batch.BatchAlignmentEngine.scheduling_stats`).
     """
     workload = workload or default_workload()
     config = config or GenASMConfig()
@@ -166,6 +172,14 @@ def run_batched_throughput_experiment(
             for a, b in zip(serial.results, batch.results)
         )
 
+    from repro.batch import BatchAlignmentEngine
+
+    lanes = max(1, min(scheduling_lanes, len(pairs))) if pairs else 1
+    sorted_stats = BatchAlignmentEngine(config, max_lanes=lanes).scheduling_stats(pairs)
+    fifo_stats = BatchAlignmentEngine(
+        config, max_lanes=lanes, scheduling="fifo"
+    ).scheduling_stats(pairs)
+
     rows = [
         {
             "id": "E1v_vectorized_vs_serial",
@@ -175,6 +189,9 @@ def run_batched_throughput_experiment(
             "identical_results": identical(vectorized),
             "serial_pairs_per_second": serial.items_per_second,
             "vectorized_pairs_per_second": vectorized.items_per_second,
+            "scheduling_lanes": lanes,
+            "lockstep_efficiency_sorted": sorted_stats["efficiency"],
+            "lockstep_efficiency_fifo": fifo_stats["efficiency"],
         }
     ]
     if include_process and workers > 1:

@@ -1,0 +1,321 @@
+"""Differential test harness for the lockstep decision-word traceback.
+
+The PR-2 contract: the vectorized batch path (lockstep DC wave + lockstep
+decision-word traceback + wave scheduling) is **byte-identical** to the
+scalar ``align_windowed`` reference — CIGARs, edit distances, consumed text
+spans, per-pair metadata and every :class:`AccessCounter` field — across
+every improvement-toggle combination, every ``match_priority`` tie-break
+order, randomized inputs and adversarial shapes (all-match, all-mismatch,
+homopolymer, empty-window).  The decision words themselves are checked bit
+by bit against the scalar predicates exposed by
+:func:`repro.core.genasm_tb.traceback_conditions`, and a golden
+simulated-read corpus pins both paths to checked-in expected output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+
+import pytest
+
+from repro.batch import (
+    BatchAlignmentEngine,
+    LaneJob,
+    SoAWave,
+    build_wave_decisions,
+    run_dc_wave_state,
+)
+from repro.core.aligner import GenASMAligner
+from repro.core.config import GenASMConfig
+from repro.core.genasm_tb import traceback_conditions
+from repro.core.metrics import AccessCounter
+from repro.gpu.device import A6000
+from repro.gpu.kernel import GenASMKernelSpec
+from repro.gpu.simulator import GpuSimulator
+from tests.conftest import mutate, random_dna
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+#: All eight combinations of the paper's three improvement toggles.
+TOGGLE_COMBOS = list(itertools.product([False, True], repeat=3))
+#: A representative set of traceback tie-break orders (permutations of MSDI).
+PRIORITIES = ["MSDI", "MDIS", "DIMS", "ISDM"]
+
+
+def adversarial_pairs():
+    """Input shapes that stress distinct traceback branches.
+
+    All-match (pure diagonal runs), all-mismatch with starved text (budget
+    doubling to the full window plus trailing insertions), homopolymer
+    (every tie-break order is live at every step), empty-window shapes
+    (text exhausted mid-alignment, empty pattern, empty text), and a
+    single-character window.
+    """
+    return [
+        ("ACGT" * 32, "ACGT" * 32 + "ACGT"),
+        ("A" * 80, "T" * 30),
+        ("A" * 120, "A" * 115),
+        ("ACGT" * 30, "ACGTA"),
+        ("", "ACGT"),
+        ("ACGT" * 20, ""),
+        ("A", "A"),
+    ]
+
+
+def random_pairs(rng):
+    """Mutated-copy pairs spanning the single/multi-word boundary lengths."""
+    specs = [(5, 1), (63, 6), (64, 5), (65, 7), (130, 12), (200, 20)]
+    pairs = []
+    for length, edits in specs:
+        pattern = random_dna(rng, length)
+        pairs.append((pattern, mutate(rng, pattern, edits) + random_dna(rng, 8)))
+    return pairs
+
+
+def assert_pairwise_identical(scalar_alignments, batch_alignments, context=""):
+    assert len(scalar_alignments) == len(batch_alignments)
+    for want, got in zip(scalar_alignments, batch_alignments):
+        assert str(got.cigar) == str(want.cigar), context
+        assert got.edit_distance == want.edit_distance, context
+        assert got.text_end == want.text_end, context
+        for key in (
+            "windows",
+            "rows_computed",
+            "peak_window_bytes",
+            "total_stored_bytes",
+            "dp_accesses",
+            "dp_bytes",
+        ):
+            assert got.metadata[key] == want.metadata[key], f"{context}: {key}"
+
+
+class TestDifferentialEquivalence:
+    """Vectorized path ≡ scalar path per field, over the full toggle sweep."""
+
+    @pytest.mark.parametrize("priority", PRIORITIES)
+    @pytest.mark.parametrize(
+        "entry_compression,early_termination,traceback_band", TOGGLE_COMBOS
+    )
+    def test_toggles_and_priorities(
+        self, rng, entry_compression, early_termination, traceback_band, priority
+    ):
+        config = GenASMConfig(
+            entry_compression=entry_compression,
+            early_termination=early_termination,
+            traceback_band=traceback_band,
+            match_priority=priority,
+        )
+        pairs = random_pairs(rng) + adversarial_pairs()
+        context = (
+            f"ec={entry_compression} et={early_termination} "
+            f"tb={traceback_band} priority={priority}"
+        )
+
+        # Per-pair scalar counters (a shared align_batch counter would
+        # snapshot running totals into metadata), merged for the
+        # whole-batch comparison.
+        scalar_counter = AccessCounter()
+        aligner = GenASMAligner(config)
+        scalar = []
+        for pattern, text in pairs:
+            pair_counter = AccessCounter()
+            scalar.append(aligner.align(pattern, text, counter=pair_counter))
+            scalar_counter.merge(pair_counter)
+        batch_counter = AccessCounter()
+        batch = BatchAlignmentEngine(config).align_pairs(pairs, counter=batch_counter)
+
+        assert_pairwise_identical(scalar, batch, context)
+        # Every AccessCounter field over the whole batch, including the
+        # traceback-side fields (tb_steps, dp_reads, bytes_read) the
+        # lockstep walk replicates via its read-accounting tables.
+        assert batch_counter.as_dict() == scalar_counter.as_dict(), context
+
+    def test_alignments_validate_against_sequences(self, rng):
+        pairs = random_pairs(rng) + adversarial_pairs()
+        for alignment in BatchAlignmentEngine(GenASMConfig()).align_pairs(pairs):
+            alignment.validate()
+
+
+class TestDecisionWords:
+    """Decision planes ≡ the scalar predicates, bit by bit."""
+
+    @pytest.mark.parametrize("entry_compression", [False, True])
+    @pytest.mark.parametrize("traceback_band", [False, True])
+    def test_planes_match_scalar_predicates(
+        self, rng, entry_compression, traceback_band
+    ):
+        jobs = []
+        for length, k in [(6, 2), (9, 3), (1, 1)]:
+            pattern = random_dna(rng, length)
+            text = mutate(rng, pattern, 1) + random_dna(rng, 3)
+            jobs.append(LaneJob(pattern=pattern, text=text, max_errors=k))
+        wave = SoAWave(jobs, traceback_band=traceback_band)
+        state = run_dc_wave_state(wave, entry_compression=entry_compression)
+        decisions = build_wave_decisions(
+            wave, state.stored_rows, entry_compression=entry_compression
+        )
+        tables = state.tables()
+
+        for lane, (job, table) in enumerate(zip(jobs, tables)):
+            conditions = traceback_conditions(table)
+            m, n = len(job.pattern), len(job.text)
+            for d in range(table.rows_computed):
+                for j in range(1, n + 1):
+                    for i in range(m):
+                        for letter in "MSID":
+                            assert decisions.bit(letter, lane, d, j, i) == conditions[
+                                letter
+                            ](j, d, i), (
+                                f"lane={lane} letter={letter} d={d} j={j} i={i} "
+                                f"ec={entry_compression} band={traceback_band}"
+                            )
+
+
+class TestGoldenCorpus:
+    """Both backends reproduce the checked-in simulated-read corpus exactly."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        with open(DATA_DIR / "golden_corpus.json") as fh:
+            return json.load(fh)
+
+    def test_scalar_reproduces_golden(self, corpus):
+        aligner = GenASMAligner(GenASMConfig())
+        for entry in corpus["entries"]:
+            alignment = aligner.align(entry["pattern"], entry["text"])
+            assert str(alignment.cigar) == entry["cigar"]
+            assert alignment.edit_distance == entry["edit_distance"]
+            assert alignment.text_end == entry["text_end"]
+
+    def test_vectorized_reproduces_golden(self, corpus):
+        pairs = [(e["pattern"], e["text"]) for e in corpus["entries"]]
+        engine = BatchAlignmentEngine(GenASMConfig())
+        for entry, alignment in zip(corpus["entries"], engine.align_pairs(pairs)):
+            assert str(alignment.cigar) == entry["cigar"]
+            assert alignment.edit_distance == entry["edit_distance"]
+            assert alignment.text_end == entry["text_end"]
+
+    def test_corpus_exercises_multi_window_and_adversarial_shapes(self, corpus):
+        lengths = [len(e["pattern"]) for e in corpus["entries"]]
+        window = GenASMConfig().window_size
+        assert max(lengths) > 4 * window, "corpus lost its multi-window reads"
+        assert any(e["edit_distance"] == 0 for e in corpus["entries"])
+        assert any(
+            e["edit_distance"] >= len(e["pattern"]) // 2 for e in corpus["entries"]
+        )
+
+
+class TestWaveScheduling:
+    """Sorted wave scheduling: identical results, input order, better lockstep."""
+
+    def _mixed_pairs(self, rng):
+        pairs = []
+        for index in range(16):
+            length = 40 if index % 2 == 0 else 400
+            pattern = random_dna(rng, length)
+            pairs.append((pattern, mutate(rng, pattern, length // 10) + "ACGT"))
+        return pairs
+
+    def test_sorted_chunking_preserves_input_order_and_results(self, rng):
+        pairs = self._mixed_pairs(rng)
+        config = GenASMConfig()
+        reference = BatchAlignmentEngine(config).align_pairs(pairs)
+        for scheduling in ("sorted", "fifo"):
+            chunked = BatchAlignmentEngine(
+                config, max_lanes=4, scheduling=scheduling
+            ).align_pairs(pairs)
+            assert_pairwise_identical(reference, chunked, scheduling)
+            for (pattern, text), alignment in zip(pairs, chunked):
+                assert alignment.pattern == pattern
+                assert alignment.text == text
+
+    def test_sorted_schedule_improves_lockstep_efficiency(self, rng):
+        pairs = self._mixed_pairs(rng)
+        config = GenASMConfig()
+        sorted_engine = BatchAlignmentEngine(config, max_lanes=4)
+        fifo_engine = BatchAlignmentEngine(config, max_lanes=4, scheduling="fifo")
+        sorted_stats = sorted_engine.scheduling_stats(pairs)
+        fifo_stats = fifo_engine.scheduling_stats(pairs)
+        assert sorted_stats["useful_work"] == fifo_stats["useful_work"]
+        assert sorted_stats["efficiency"] > fifo_stats["efficiency"]
+        assert sorted_stats["efficiency"] > 0.9  # homogeneous chunks
+        assert fifo_stats["efficiency"] < 0.7  # alternating 1- and 10-window lanes
+
+    def test_schedule_orders_by_expected_windows(self):
+        engine = BatchAlignmentEngine(GenASMConfig(), max_lanes=2)
+        pairs = [("A" * 300, "T"), ("A" * 10, "T"), ("A" * 700, "T"), ("A" * 64, "T")]
+        order = engine.schedule(pairs)
+        windows = [engine.expected_windows(len(pairs[i][0])) for i in order]
+        assert windows == sorted(windows)
+        fifo = BatchAlignmentEngine(GenASMConfig(), scheduling="fifo")
+        assert fifo.schedule(pairs) == [0, 1, 2, 3]
+
+    def test_expected_windows_matches_measured_window_metadata(self, rng):
+        engine = BatchAlignmentEngine(GenASMConfig())
+        pairs = self._mixed_pairs(rng) + [("", "ACGT")]
+        for (pattern, _), alignment in zip(pairs, engine.align_pairs(pairs)):
+            assert engine.expected_windows(len(pattern)) == alignment.metadata["windows"]
+
+    def test_invalid_scheduling_rejected(self):
+        with pytest.raises(ValueError):
+            BatchAlignmentEngine(GenASMConfig(), scheduling="random")
+
+    def test_warp_divergence_sorted_schedule(self, rng):
+        pairs = self._mixed_pairs(rng)
+        kernel = GenASMKernelSpec(GenASMConfig())
+        profiles = kernel.profile_batch(pairs)
+        simulator = GpuSimulator(A6000)
+        fifo = simulator.warp_divergence(profiles, warp_size=4)
+        swept = simulator.warp_divergence(profiles, warp_size=4, schedule="sorted")
+        assert swept["useful_work"] == pytest.approx(fifo["useful_work"])
+        assert swept["efficiency"] >= fifo["efficiency"]
+        with pytest.raises(ValueError):
+            simulator.warp_divergence(profiles, schedule="random")
+
+
+class TestWindowAccounting:
+    """Window accounting lives in one spot and survives retry sub-waves."""
+
+    def test_retry_subwave_metrics_match_scalar(self, rng):
+        # k = 1 forces budget-doubling retries on any window with >= 2
+        # edits; the engine must still count each window once and charge
+        # exactly the scalar path's retry DP traffic.
+        config = GenASMConfig(max_errors=1)
+        pairs = []
+        for length in (60, 96, 130):
+            pattern = random_dna(rng, length)
+            pairs.append((pattern, mutate(rng, pattern, length // 6) + "ACGT"))
+
+        scalar_counter = AccessCounter()
+        aligner = GenASMAligner(config)
+        scalar = []
+        for pattern, text in pairs:
+            pair_counter = AccessCounter()
+            scalar.append(aligner.align(pattern, text, counter=pair_counter))
+            scalar_counter.merge(pair_counter)
+        batch_counter = AccessCounter()
+        batch = BatchAlignmentEngine(config).align_pairs(pairs, counter=batch_counter)
+
+        assert_pairwise_identical(scalar, batch, "retry sub-waves")
+        assert batch_counter.as_dict() == scalar_counter.as_dict()
+        # The workload actually exercised retries (more rows than a single
+        # k=1 attempt could compute over the counted windows).
+        assert batch_counter.rows_computed > 2 * batch_counter.windows
+
+    def test_windows_counted_once_per_window(self):
+        # One multi-window pair with the text exhausted halfway: both the
+        # DP windows and the empty-text insertion windows must be counted
+        # exactly once, in metadata and counter alike.
+        pattern = "ACGT" * 40
+        pair = (pattern, "ACGT" * 12)
+        counter = AccessCounter()
+        engine = BatchAlignmentEngine(GenASMConfig())
+        alignment = engine.align_pairs([pair], counter=counter)[0]
+        assert counter.windows == alignment.metadata["windows"]
+
+        scalar_counter = AccessCounter()
+        scalar = GenASMAligner(GenASMConfig()).align(*pair, counter=scalar_counter)
+        assert alignment.metadata["windows"] == scalar.metadata["windows"]
+        assert counter.windows == scalar_counter.windows
