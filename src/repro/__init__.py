@@ -29,6 +29,10 @@ contribution:
     The vectorized batched-alignment engine: many window pairs evaluated
     in lockstep as NumPy structure-of-arrays uint64 lanes, byte-identical
     to the scalar path.
+``repro.pipeline``
+    The streaming pipeline: ingest, mapping, wave accumulation and
+    (optionally process-sharded) wave execution overlapped behind
+    ``StreamingPipeline``, emitting results in input order.
 ``repro.harness``
     Dataset construction, the experiment registry (E1–E5 and ablations)
     and report generation.
@@ -46,6 +50,7 @@ from repro.core.alignment import Alignment
 from repro.core.cigar import Cigar, CigarOp
 from repro.core.config import GenASMConfig
 from repro.parallel import BatchExecutor
+from repro.pipeline import MappedAlignment, PipelineStats, StreamingPipeline
 
 __all__ = [
     "GenASMAligner",
@@ -57,6 +62,9 @@ __all__ = [
     "BatchAlignmentEngine",
     "align_pairs_vectorized",
     "BatchExecutor",
+    "StreamingPipeline",
+    "MappedAlignment",
+    "PipelineStats",
     "__version__",
 ]
 

@@ -71,6 +71,7 @@ __all__ = [
     "run_dc_wave_state",
     "align_pairs_vectorized",
     "SCHEDULING_POLICIES",
+    "DEFAULT_SCALAR_TRACEBACK_THRESHOLD",
 ]
 
 #: Wave-scheduling policies accepted by :class:`BatchAlignmentEngine`.
@@ -79,10 +80,16 @@ SCHEDULING_POLICIES = ("sorted", "fifo")
 _U1 = np.uint64(1)
 _U0 = np.uint64(0)
 
-#: Packed op code of CigarOp.INSERTION (see repro.batch.traceback).
-_INSERTION_CODE = next(
-    code for code, op in enumerate(OPS_BY_CODE) if op is CigarOp.INSERTION
-)
+#: Packed op code per CigarOp (see repro.batch.traceback.OPS_BY_CODE).
+_CODE_BY_OP = {op: code for code, op in enumerate(OPS_BY_CODE)}
+_INSERTION_CODE = _CODE_BY_OP[CigarOp.INSERTION]
+
+#: Default lane count below which the scalar per-lane traceback beats the
+#: lockstep walk (see BatchAlignmentEngine.scalar_traceback_threshold).
+#: Measured crossover sits between 16 and 32 lanes for 150-600 bp windows
+#: (at 8-16 lanes the scalar walk is up to ~1.3x faster, at 32 the
+#: lockstep walk is ~1.15-1.2x faster), so the default splits that range.
+DEFAULT_SCALAR_TRACEBACK_THRESHOLD = 24
 
 
 @dataclass
@@ -120,48 +127,56 @@ class WaveDCState:
             entries = self.rows_computed * np.maximum(0, np.minimum(columns, wave.n))
         return entries * per_entry
 
+    def table(self, lane: int) -> DCTable:
+        """Materialise the scalar :class:`DCTable` of one lane.
+
+        Used by the compat wrapper (:meth:`tables`) and by the engine's
+        small-wave scalar-traceback path, which trades the lockstep walk's
+        per-step NumPy dispatch overhead for a per-lane Python loop when
+        few lanes need tracing.
+        """
+        wave = self.wave
+        job = wave.jobs[lane]
+        rows_i = int(self.rows_computed[lane])
+        n_i = int(wave.n[lane])
+        found = int(self.min_errors[lane])
+        table = DCTable(
+            pattern=job.pattern,
+            text=job.text,
+            max_errors=int(wave.k[lane]),
+            entry_compression=self.entry_compression,
+            early_termination=self.early_termination,
+            traceback_band=wave.traceback_band,
+            word_bits=wave.word_bits,
+            store_from_column=int(wave.store_from[lane]),
+            counter=job.counter,
+        )
+        table.rows_computed = rows_i
+        table.min_errors = found if found >= 0 else None
+        table.final_column = [int(self.final_cols[d][lane]) for d in range(rows_i)]
+        if self.entry_compression:
+            table.stored_r = [
+                self.stored_rows[d][lane, : n_i + 1].tolist() for d in range(rows_i)
+            ]
+        else:
+            table.stored_quad = [
+                list(
+                    zip(
+                        self.stored_rows[d][0][lane, :n_i].tolist(),
+                        self.stored_rows[d][1][lane, :n_i].tolist(),
+                        self.stored_rows[d][2][lane, :n_i].tolist(),
+                        self.stored_rows[d][3][lane, :n_i].tolist(),
+                    )
+                )
+                for d in range(rows_i)
+            ]
+        table._band_lo = [int(x) for x in wave.band_lo[lane, : n_i + 1]]
+        table._band_width = None  # lazily derived; identical to scalar
+        return table
+
     def tables(self) -> List[DCTable]:
         """Materialise one scalar :class:`DCTable` per lane (compat path)."""
-        wave = self.wave
-        tables: List[DCTable] = []
-        for i, job in enumerate(wave.jobs):
-            rows_i = int(self.rows_computed[i])
-            n_i = int(wave.n[i])
-            found = int(self.min_errors[i])
-            table = DCTable(
-                pattern=job.pattern,
-                text=job.text,
-                max_errors=int(wave.k[i]),
-                entry_compression=self.entry_compression,
-                early_termination=self.early_termination,
-                traceback_band=wave.traceback_band,
-                word_bits=wave.word_bits,
-                store_from_column=int(wave.store_from[i]),
-                counter=job.counter,
-            )
-            table.rows_computed = rows_i
-            table.min_errors = found if found >= 0 else None
-            table.final_column = [int(self.final_cols[d][i]) for d in range(rows_i)]
-            if self.entry_compression:
-                table.stored_r = [
-                    self.stored_rows[d][i, : n_i + 1].tolist() for d in range(rows_i)
-                ]
-            else:
-                table.stored_quad = [
-                    list(
-                        zip(
-                            self.stored_rows[d][0][i, :n_i].tolist(),
-                            self.stored_rows[d][1][i, :n_i].tolist(),
-                            self.stored_rows[d][2][i, :n_i].tolist(),
-                            self.stored_rows[d][3][i, :n_i].tolist(),
-                        )
-                    )
-                    for d in range(rows_i)
-                ]
-            table._band_lo = [int(x) for x in wave.band_lo[i, : n_i + 1]]
-            table._band_width = None  # lazily derived; identical to scalar
-            tables.append(table)
-        return tables
+        return [self.table(lane) for lane in range(self.wave.lanes)]
 
 
 def run_dc_wave(
@@ -336,6 +351,8 @@ class _PairState:
         "rows_total",
         "counter",
         "done",
+        "tb_lockstep",
+        "tb_scalar",
     )
 
     def __init__(self, pattern: str, text: str) -> None:
@@ -351,6 +368,19 @@ class _PairState:
         self.rows_total = 0
         self.counter = AccessCounter()
         self.done = len(pattern) == 0
+        #: windows traced by each traceback path (metadata diagnostics)
+        self.tb_lockstep = 0
+        self.tb_scalar = 0
+
+    def traceback_path(self) -> str:
+        """Which traceback implementation(s) this pair's windows used."""
+        if self.tb_lockstep and self.tb_scalar:
+            return "mixed"
+        if self.tb_scalar:
+            return "scalar"
+        if self.tb_lockstep:
+            return "lockstep"
+        return "none"
 
     def cigar(self) -> Cigar:
         """Run-length encode the accumulated op codes into a CIGAR."""
@@ -376,8 +406,10 @@ class BatchAlignmentEngine:
     All pairs advance through their windows together: each iteration of the
     outer loop assembles one :class:`SoAWave` from every unfinished pair's
     current window, runs the lockstep DC kernel (with per-lane
-    budget-doubling retry sub-waves), traces each lane back with the scalar
-    traceback, and advances the per-pair cursors exactly as
+    budget-doubling retry sub-waves), traces the solved lanes back — with
+    the lockstep decision-word walk, or the scalar per-lane traceback when
+    few lanes need tracing (see ``scalar_traceback_threshold``) — and
+    advances the per-pair cursors exactly as
     :func:`repro.core.windowing.align_windowed` would.
 
     Parameters
@@ -399,6 +431,19 @@ class BatchAlignmentEngine:
         in input order.  The policy never changes any alignment — only the
         lockstep efficiency of mixed-length batches (see
         :meth:`scheduling_stats`).
+    scalar_traceback_threshold:
+        Small-wave dispatch heuristic: when fewer than this many lanes of a
+        wave need tracing, the traceback runs the scalar per-lane walk
+        (:func:`repro.core.genasm_tb.genasm_traceback` over the wave's
+        stored state) instead of the lockstep decision-word walk, whose
+        per-step NumPy dispatch overhead dominates at small lane counts
+        (the small-batch regression noted in the ROADMAP; the measured
+        crossover sits between 16 and 32 lanes, see
+        :data:`DEFAULT_SCALAR_TRACEBACK_THRESHOLD`).  Both paths are
+        byte-identical — alignments *and* access accounting — so the
+        threshold only moves the crossover; every alignment records which
+        path(s) traced it in ``metadata["traceback_path"]``.  ``0`` forces
+        the lockstep walk always; a very large value forces the scalar walk.
     """
 
     def __init__(
@@ -408,6 +453,7 @@ class BatchAlignmentEngine:
         name: str = "genasm-vectorized",
         max_lanes: Optional[int] = None,
         scheduling: str = "sorted",
+        scalar_traceback_threshold: int = DEFAULT_SCALAR_TRACEBACK_THRESHOLD,
     ) -> None:
         self.config = config if config is not None else GenASMConfig()
         self.name = name
@@ -417,8 +463,11 @@ class BatchAlignmentEngine:
             raise ValueError(
                 f"scheduling must be one of {SCHEDULING_POLICIES}, got {scheduling!r}"
             )
+        if scalar_traceback_threshold < 0:
+            raise ValueError("scalar_traceback_threshold must be non-negative")
         self.max_lanes = max_lanes
         self.scheduling = scheduling
+        self.scalar_traceback_threshold = scalar_traceback_threshold
 
     @property
     def vectorizable(self) -> bool:
@@ -565,6 +614,7 @@ class BatchAlignmentEngine:
                 "dp_accesses": s.counter.total_accesses,
                 "dp_bytes": s.counter.total_bytes,
                 "model_window_bytes": model_bytes,
+                "traceback_path": s.traceback_path(),
             }
             alignments.append(
                 Alignment(
@@ -636,39 +686,92 @@ class BatchAlignmentEngine:
                     retries.append((s, rev_p, rev_t, commit, wt_len, min(m, budget * 2)))
 
             if solved.any():
-                # The walk only descends from solved lanes' min_errors, so
-                # rows above that (computed for still-retrying lanes) need
-                # no decision words.
-                rows_needed = int(state.min_errors[solved].max()) + 1
-                decisions = build_wave_decisions(
-                    wave,
-                    state.stored_rows[:rows_needed],
-                    entry_compression=config.entry_compression,
-                )
-                tracebacks = lockstep_traceback(
-                    wave,
-                    decisions,
-                    start_errors=state.min_errors,
-                    budgets=np.array([p[3] for p in pending], dtype=np.int64),
-                    priority=config.match_priority,
-                    active=solved,
-                )
-                stored = state.stored_bytes()
-                for lane, (s, _rev_p, _rev_t, _commit, wt_len, _budget) in enumerate(
-                    pending
-                ):
-                    tb = tracebacks[lane]
-                    if tb is None:
-                        continue
-                    self._apply_window(
-                        s,
-                        codes=tb.codes,
-                        pattern_consumed=tb.pattern_consumed,
-                        text_consumed=wt_len - tb.text_stop,
-                        rows=int(state.rows_computed[lane]),
-                        stored=int(stored[lane]),
-                    )
+                if int(solved.sum()) < self.scalar_traceback_threshold:
+                    self._traceback_scalar_lanes(state, pending, solved)
+                else:
+                    self._traceback_lockstep_lanes(state, wave, pending, solved)
             pending = retries
+
+    def _traceback_lockstep_lanes(
+        self,
+        state: WaveDCState,
+        wave: SoAWave,
+        pending: Sequence[Tuple["_PairState", str, str, int, int, int]],
+        solved: np.ndarray,
+    ) -> None:
+        """Trace all solved lanes with the lockstep decision-word walk."""
+        config = self.config
+        # The walk only descends from solved lanes' min_errors, so rows
+        # above that (computed for still-retrying lanes) need no decision
+        # words.
+        rows_needed = int(state.min_errors[solved].max()) + 1
+        decisions = build_wave_decisions(
+            wave,
+            state.stored_rows[:rows_needed],
+            entry_compression=config.entry_compression,
+        )
+        tracebacks = lockstep_traceback(
+            wave,
+            decisions,
+            start_errors=state.min_errors,
+            budgets=np.array([p[3] for p in pending], dtype=np.int64),
+            priority=config.match_priority,
+            active=solved,
+        )
+        stored = state.stored_bytes()
+        for lane, (s, _rev_p, _rev_t, _commit, wt_len, _budget) in enumerate(pending):
+            tb = tracebacks[lane]
+            if tb is None:
+                continue
+            self._apply_window(
+                s,
+                codes=tb.codes,
+                pattern_consumed=tb.pattern_consumed,
+                text_consumed=wt_len - tb.text_stop,
+                rows=int(state.rows_computed[lane]),
+                stored=int(stored[lane]),
+                path="lockstep",
+            )
+
+    def _traceback_scalar_lanes(
+        self,
+        state: WaveDCState,
+        pending: Sequence[Tuple["_PairState", str, str, int, int, int]],
+        solved: np.ndarray,
+    ) -> None:
+        """Trace solved lanes one by one with the scalar traceback.
+
+        The small-wave path of the dispatch heuristic: below
+        :attr:`scalar_traceback_threshold` traced lanes, materialising each
+        lane's :class:`DCTable` and walking it with
+        :func:`repro.core.genasm_tb.genasm_traceback` beats the lockstep
+        walk's per-step NumPy dispatch.  Decisions and read accounting are
+        identical by construction — the scalar walk reads the same stored
+        state through the same predicates the decision words encode.
+        """
+        from repro.core.genasm_tb import genasm_traceback
+
+        priority = self.config.match_priority
+        stored = state.stored_bytes()
+        for lane, (s, _rev_p, _rev_t, commit, wt_len, _budget) in enumerate(pending):
+            if not solved[lane]:
+                continue
+            table = state.table(lane)
+            ops, text_stop = genasm_traceback(
+                table, priority=priority, max_pattern_columns=commit
+            )
+            codes = np.fromiter(
+                (_CODE_BY_OP[op] for op in ops), dtype=np.int8, count=len(ops)
+            )
+            self._apply_window(
+                s,
+                codes=codes,
+                pattern_consumed=sum(1 for op in ops if op.consumes_pattern),
+                text_consumed=wt_len - text_stop,
+                rows=int(state.rows_computed[lane]),
+                stored=int(stored[lane]),
+                path="scalar",
+            )
 
     @staticmethod
     def _apply_window(
@@ -679,10 +782,15 @@ class BatchAlignmentEngine:
         text_consumed: int,
         rows: int,
         stored: int,
+        path: Optional[str] = None,
     ) -> None:
         # Single home of window accounting: the E-series counter and the
         # per-pair metadata tally advance together, once per committed
         # window (never per retry sub-wave).
+        if path == "lockstep":
+            s.tb_lockstep += 1
+        elif path == "scalar":
+            s.tb_scalar += 1
         s.windows += 1
         s.counter.windows += 1
         s.peak_bytes = max(s.peak_bytes, stored)

@@ -10,7 +10,14 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
-__all__ = ["read_fasta", "write_fasta", "read_fastq", "write_fastq", "iter_fasta"]
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "read_fastq",
+    "write_fastq",
+    "iter_fasta",
+    "iter_fastq",
+]
 
 PathLike = Union[str, Path]
 
@@ -57,23 +64,37 @@ def write_fasta(
                 handle.write(sequence[start : start + width] + "\n")
 
 
+def iter_fastq(path: PathLike) -> Iterator[Tuple[str, str, str]]:
+    """Yield ``(name, sequence, quality)`` records from a FASTQ file.
+
+    Streaming counterpart of :func:`read_fastq` (same record semantics:
+    stops at a blank line, ignores a trailing partial record) used by the
+    pipeline ingest stage so reads never have to be materialised at once.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        line_number = 0
+        while True:
+            record = [handle.readline() for _ in range(4)]
+            if not record[0] or not record[0].rstrip("\n"):
+                return
+            if not record[3]:
+                return  # trailing partial record, matching read_fastq
+            header, seq, plus, qual = (line.rstrip("\n") for line in record)
+            if not header.startswith("@") or not plus.startswith("+"):
+                raise ValueError(
+                    f"malformed FASTQ record at line {line_number + 1} of {path}"
+                )
+            if len(seq) != len(qual):
+                raise ValueError(
+                    f"sequence/quality length mismatch at line {line_number + 1} of {path}"
+                )
+            yield header[1:].split()[0], seq.upper(), qual
+            line_number += 4
+
+
 def read_fastq(path: PathLike) -> List[Tuple[str, str, str]]:
     """Read a FASTQ file into a list of ``(name, sequence, quality)`` tuples."""
-    records: List[Tuple[str, str, str]] = []
-    with open(path, "r", encoding="ascii") as handle:
-        lines = [line.rstrip("\n") for line in handle]
-    i = 0
-    while i + 4 <= len(lines):
-        if not lines[i]:
-            break
-        header, seq, plus, qual = lines[i : i + 4]
-        if not header.startswith("@") or not plus.startswith("+"):
-            raise ValueError(f"malformed FASTQ record at line {i + 1} of {path}")
-        if len(seq) != len(qual):
-            raise ValueError(f"sequence/quality length mismatch at line {i + 1} of {path}")
-        records.append((header[1:].split()[0], seq.upper(), qual))
-        i += 4
-    return records
+    return list(iter_fastq(path))
 
 
 def write_fastq(path: PathLike, records: Iterable[Tuple[str, str, str]]) -> None:

@@ -28,6 +28,7 @@ __all__ = [
     "default_workload",
     "run_cpu_speed_experiment",
     "run_batched_throughput_experiment",
+    "run_streaming_throughput_experiment",
     "run_gpu_speed_experiment",
     "run_memory_footprint_experiment",
     "run_memory_access_experiment",
@@ -212,6 +213,136 @@ def run_batched_throughput_experiment(
     for row in rows:
         row["pairs"] = len(pairs)
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# E1s — streaming pipeline throughput: overlapped ingest/map/align vs the
+#       offline phase-at-a-time harness
+# --------------------------------------------------------------------------- #
+def run_streaming_throughput_experiment(
+    workload: Optional["AlignmentWorkload"] = None,
+    *,
+    config: Optional[GenASMConfig] = None,
+    read_count: int = 32,
+    read_length: int = 500,
+    seed: int = 0,
+    wave_size: int = 128,
+    max_pending: int = 512,
+    map_workers: int = 1,
+    align_workers: int = 1,
+) -> List[Dict[str, object]]:
+    """E1s: end-to-end streaming pipeline vs the offline map-then-align path.
+
+    Both paths run the complete §II pipeline over the same simulated reads
+    — mapping included — so the comparison is end-to-end read throughput,
+    not just alignment:
+
+    * **offline serial**: materialise every candidate pair with
+      :meth:`Mapper.map_reads`, then align the full list with the serial
+      scalar loop (the pre-batching harness);
+    * **offline vectorized**: same materialised list through the lockstep
+      engine (the PR-1/PR-2 harness);
+    * **streaming**: :class:`repro.pipeline.StreamingPipeline` over the
+      read stream — mapping, wave accumulation and wave execution
+      overlapped.
+
+    The paper has no corresponding number (its pipeline is the 48-thread
+    C++ harness), so ``paper`` is NaN; rows carry an ``identical_results``
+    flag asserting the streaming results are byte-identical, in order, to
+    the offline alignments, plus the pipeline's per-stage timing and
+    queue/wave diagnostics (:class:`repro.pipeline.PipelineStats`).
+
+    Pass ``workload=None`` (default) to simulate ``read_count`` reads; an
+    explicit workload reuses its genome and reads (its ``max_pairs`` cap is
+    ignored — both paths align every candidate).
+    """
+    config = config or GenASMConfig()
+    if workload is None:
+        workload = build_paper_dataset(
+            read_count=read_count, read_length=read_length, seed=seed, max_pairs=None
+        )
+    reads = workload.reads
+    from repro.mapping.mapper import Mapper
+    from repro.pipeline import StreamingPipeline
+
+    mapper = Mapper(workload.genome, all_chains=True)
+    sequences = {read.name: read.sequence for read in reads}
+
+    # Offline: map everything, then align the materialised list.
+    map_watch = time.perf_counter()
+    candidates = mapper.map_reads(reads)
+    pairs = [
+        mapper.candidate_region_sequence(c, sequences[c.read_name])
+        for c in candidates
+    ]
+    offline_map_seconds = time.perf_counter() - map_watch
+
+    executor = BatchExecutor()
+    serial = executor.run_alignments(pairs, config, name="offline-serial", backend="serial")
+    vectorized = executor.run_alignments(
+        pairs, config, name="offline-vectorized", backend="vectorized"
+    )
+
+    # Streaming: the same reads through the overlapped pipeline.
+    pipeline = StreamingPipeline(
+        mapper,
+        config,
+        wave_size=wave_size,
+        max_pending=max_pending,
+        map_workers=map_workers,
+        align_workers=align_workers,
+    )
+    streamed = pipeline.run_all(reads)
+    stats = pipeline.stats
+
+    def identical(reference) -> bool:
+        if len(streamed) != len(reference.results):
+            return False
+        return all(
+            str(mapped.alignment.cigar) == str(want.cigar)
+            and mapped.alignment.edit_distance == want.edit_distance
+            and mapped.alignment.text_end == want.text_end
+            for mapped, want in zip(streamed, reference.results)
+        )
+
+    reads_count = max(1, len(reads))
+    offline_serial_seconds = offline_map_seconds + serial.elapsed_seconds
+    offline_vectorized_seconds = offline_map_seconds + vectorized.elapsed_seconds
+    streaming_rps = stats.reads_per_second
+    serial_rps = reads_count / max(1e-9, offline_serial_seconds)
+    vectorized_rps = reads_count / max(1e-9, offline_vectorized_seconds)
+
+    common = {
+        "paper": float("nan"),
+        "reads": len(reads),
+        "pairs": len(pairs),
+        "streaming_reads_per_second": streaming_rps,
+        "streaming_pairs_per_second": stats.pairs_per_second,
+        "stage_seconds": dict(stats.stage_seconds),
+        "wave_fill_efficiency": stats.wave_fill_efficiency,
+        "max_pending": stats.max_pending,
+        "mean_pending": stats.mean_pending,
+        "waves": stats.waves,
+        "pipeline_stats": stats.as_dict(),
+    }
+    return [
+        {
+            "id": "E1s_streaming_vs_offline_serial",
+            "metric": "streaming pipeline speedup over offline map-then-serial-align",
+            "measured": streaming_rps / serial_rps,
+            "identical_results": identical(serial),
+            "offline_serial_reads_per_second": serial_rps,
+            **common,
+        },
+        {
+            "id": "E1s_streaming_vs_offline_vectorized",
+            "metric": "streaming pipeline speedup over offline map-then-vectorized-align",
+            "measured": streaming_rps / vectorized_rps,
+            "identical_results": identical(vectorized),
+            "offline_vectorized_reads_per_second": vectorized_rps,
+            **common,
+        },
+    ]
 
 
 # --------------------------------------------------------------------------- #

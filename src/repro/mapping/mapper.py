@@ -200,16 +200,26 @@ class Mapper:
         gathered into one batch of (pattern, text) pairs and pushed through
         :meth:`repro.parallel.executor.BatchExecutor.run_alignments`, which
         defaults to the vectorized lockstep engine (``backend`` selects
-        ``serial``/``process``/``vectorized``; all three produce identical
-        alignments).  ``workers`` only takes effect with the ``process``
-        backend — serial and vectorized runs are single-process.  The
-        returned list is parallel to ``candidates``.
+        ``serial``/``process``/``vectorized``/``streaming``; all four
+        produce identical alignments).  The ``streaming`` backend routes
+        the pairs through :class:`repro.pipeline.StreamingPipeline` — wave
+        accumulation plus (with ``workers > 1``) wave-sharded process
+        execution; for full ingest/map/align overlap, drive
+        :meth:`StreamingPipeline.run` with the reads directly instead.
+        ``workers`` only takes effect with the ``process`` and
+        ``streaming`` backends — serial and vectorized runs are
+        single-process.  The returned list is parallel to ``candidates``.
         """
-        from repro.parallel.executor import BatchExecutor
-
         pairs = [
             self.candidate_region_sequence(c, read_sequences[c.read_name])
             for c in candidates
         ]
+        if backend == "streaming":
+            from repro.pipeline import StreamingPipeline
+
+            pipeline = StreamingPipeline(self, config, align_workers=workers)
+            return pipeline.align_pairs(pairs)
+        from repro.parallel.executor import BatchExecutor
+
         executor = BatchExecutor(workers=workers, backend=backend)
         return executor.run_alignments(pairs, config, name="candidate-batch").results

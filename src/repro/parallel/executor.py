@@ -110,8 +110,25 @@ class BatchResult(Generic[R]):
         return self.items / self.elapsed_seconds
 
     def speedup_over(self, other: "BatchResult") -> float:
-        """Throughput ratio of this run over ``other`` (same item count assumed)."""
-        return self.items_per_second / other.items_per_second
+        """Throughput ratio of this run over ``other`` (same item count assumed).
+
+        Degenerate runs map to documented values instead of the ``nan`` /
+        ``ZeroDivisionError`` the naive throughput ratio would produce.
+        The ratio is defined over :attr:`items_per_second` (which reports
+        ``inf`` for instantaneous runs, ``0.0`` for zero-item timed runs):
+        equal throughputs — including two instantaneous runs
+        (``inf / inf``) and two zero-item timed runs (``0 / 0``) — are
+        indistinguishable and the speedup is defined as ``1.0``; when only
+        ``other`` has zero throughput the ratio is ``inf``, and when only
+        this run does it is ``0.0``.
+        """
+        mine = self.items_per_second
+        theirs = other.items_per_second
+        if mine == theirs:
+            return 1.0
+        if theirs == 0:
+            return float("inf")
+        return mine / theirs
 
 
 def _invoke_pair(align: Callable[[str, str], R], pair: Tuple[str, str]) -> R:

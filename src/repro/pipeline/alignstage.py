@@ -1,0 +1,140 @@
+"""Align stage: dispatch pre-built waves to the vectorized engine.
+
+With ``workers == 1`` each wave runs on an in-process
+:class:`repro.batch.BatchAlignmentEngine`.  With ``workers > 1`` waves are
+sharded across a spawn-context process pool: each worker receives the
+(picklable) config plus the wave's pre-built (pattern, text) pairs and runs
+the engine on exactly that wave — unlike the historical ``process`` backend
+of :class:`repro.parallel.executor.BatchExecutor`, which shipped individual
+pairs and rebuilt a scalar aligner per worker, workers here execute whole
+lockstep waves, so the vectorized path and multiprocessing compose instead
+of competing.
+
+Results are collected in wave submission order behind a bounded in-flight
+window; the pipeline's reorder buffer (keyed by global candidate ordinal)
+restores input order regardless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.batch.engine import (
+    DEFAULT_SCALAR_TRACEBACK_THRESHOLD,
+    BatchAlignmentEngine,
+)
+from repro.core.alignment import Alignment
+from repro.core.config import GenASMConfig
+from repro.pipeline.window import InflightWindow
+
+__all__ = ["AlignStage"]
+
+
+def _align_wave(
+    config: GenASMConfig, engine_kwargs: dict, pairs: List[Tuple[str, str]]
+) -> List[Alignment]:
+    """Process-pool worker: align one pre-built wave with a fresh engine.
+
+    Module-level so it pickles under the multiprocessing spawn context;
+    only the config, the engine options and the wave's sequence pairs cross
+    the process boundary.
+    """
+    return BatchAlignmentEngine(config, **engine_kwargs).align_pairs(pairs)
+
+
+class AlignStage:
+    """Submit/collect interface over wave-granular alignment execution.
+
+    Parameters
+    ----------
+    config:
+        Aligner configuration shared by every wave.
+    workers:
+        ``1`` aligns in-process; ``> 1`` shards waves across that many
+        spawn processes.
+    inflight:
+        Maximum waves in flight before :meth:`submit` blocks on the oldest
+        (defaults to ``2 * workers``).
+    max_lanes, scheduling, scalar_traceback_threshold, name:
+        Forwarded to :class:`BatchAlignmentEngine`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GenASMConfig] = None,
+        *,
+        workers: int = 1,
+        inflight: Optional[int] = None,
+        max_lanes: Optional[int] = None,
+        scheduling: str = "sorted",
+        scalar_traceback_threshold: int = DEFAULT_SCALAR_TRACEBACK_THRESHOLD,
+        name: str = "genasm-streaming",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if inflight is not None and inflight < 1:
+            raise ValueError("inflight must be at least 1")
+        self.workers = workers
+        self.inflight = inflight if inflight is not None else max(2, 2 * workers)
+        self._engine_kwargs = {
+            "max_lanes": max_lanes,
+            "scheduling": scheduling,
+            "scalar_traceback_threshold": scalar_traceback_threshold,
+            "name": name,
+        }
+        # The in-process engine also validates config/options eagerly for
+        # the sharded mode, so bad options fail at construction, not in a
+        # worker traceback.
+        self.engine = BatchAlignmentEngine(config, **self._engine_kwargs)
+        self._pool = None
+        self._window = InflightWindow(self.inflight)
+
+    @property
+    def config(self) -> GenASMConfig:
+        return self.engine.config
+
+    # ------------------------------------------------------------------ #
+    def submit(self, wave: Sequence) -> None:
+        """Dispatch one wave (items must expose ``pattern`` and ``text``)."""
+        pairs = [(item.pattern, item.text) for item in wave]
+        if self.workers == 1:
+            self._window.append(list(wave), self.engine.align_pairs(pairs))
+            return
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import get_context
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=get_context("spawn")
+            )
+        self._window.append(
+            list(wave),
+            self._pool.submit(_align_wave, self.config, self._engine_kwargs, pairs),
+        )
+
+    def collect(self, *, block: bool = False) -> List[Tuple[List, List[Alignment]]]:
+        """Pop completed waves from the front of the queue, submission order.
+
+        Non-blocking by default: returns the finished prefix, waiting only
+        when more than ``inflight`` waves are queued.  ``block=True`` waits
+        for everything (the end-of-stream drain).
+        """
+        out: List[Tuple[List, List[Alignment]]] = []
+        for wave, alignments in self._window.collect(block=block):
+            if len(alignments) != len(wave):
+                raise AssertionError(
+                    "align stage returned a wave of the wrong width "
+                    f"({len(alignments)} != {len(wave)})"
+                )
+            out.append((wave, alignments))
+        return out
+
+    def drain(self) -> List[Tuple[List, List[Alignment]]]:
+        """Wait for and return every wave still in flight."""
+        return self.collect(block=True)
+
+    def close(self) -> None:
+        """Shut down the process pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,156 @@
+"""Batch stage: accumulate candidate windows into dispatchable waves.
+
+The vectorized engine amortises interpreter overhead across wave width, so
+the pipeline wants waves as full — and as uniform in per-lane work — as
+possible, without stalling forever waiting for lanes.  The accumulator
+implements the PR-2 sorted-scheduling policy incrementally:
+
+* items buffer up to ``max_pending`` (the backpressure bound);
+* when the buffer hits the bound, complete ``wave_size`` waves are cut
+  from the pending pool *in expected-work order* (stable sort by the
+  ``work_key``, the same ``expected_windows`` quantity
+  :meth:`repro.batch.BatchAlignmentEngine.schedule` sorts by), so each
+  dispatched wave runs lanes of similar lifetime in lockstep;
+* a ``linger_seconds`` timeout flushes everything pending (including a
+  partial trailing wave) once the oldest buffered item has waited too
+  long — the latency escape hatch for sparse streams;
+* :meth:`flush` drains the remainder at end of stream.
+
+Wave grouping never changes any alignment (each pair's result is
+independent of which wave carries it — the engine is byte-identical to the
+scalar path per pair); the policy only moves lockstep efficiency and
+latency, which :class:`~repro.pipeline.stats.PipelineStats` records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.batch.engine import SCHEDULING_POLICIES
+from repro.pipeline.stats import PipelineStats
+
+__all__ = ["WaveAccumulator"]
+
+
+class WaveAccumulator:
+    """Group streamed items into waves by size, backpressure and timeout.
+
+    Parameters
+    ----------
+    wave_size:
+        Target lanes per dispatched wave.
+    max_pending:
+        Backpressure bound: a push that fills the buffer to this size
+        flushes waves.  Larger values give the sorted policy a deeper pool
+        to cut uniform waves from (at the cost of latency and memory).
+    linger_seconds:
+        Flush everything pending once the oldest buffered item is this old
+        (checked at push time).  ``None`` disables the timeout.
+    scheduling:
+        ``"sorted"`` (work-ordered waves) or ``"fifo"`` (arrival order) —
+        the same policies :class:`repro.batch.BatchAlignmentEngine` accepts.
+    work_key:
+        Expected-work estimate per item used by the sorted policy.
+    clock:
+        Monotonic time source (injectable for deterministic timeout tests).
+    stats:
+        Optional :class:`PipelineStats` receiving occupancy samples and
+        flush causes.
+    """
+
+    def __init__(
+        self,
+        *,
+        wave_size: int = 64,
+        max_pending: int = 256,
+        linger_seconds: Optional[float] = None,
+        scheduling: str = "sorted",
+        work_key: Optional[Callable[[object], float]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        stats: Optional[PipelineStats] = None,
+    ) -> None:
+        if wave_size < 1:
+            raise ValueError("wave_size must be at least 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if linger_seconds is not None and linger_seconds < 0:
+            raise ValueError("linger_seconds must be non-negative")
+        if scheduling not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"scheduling must be one of {SCHEDULING_POLICIES}, got {scheduling!r}"
+            )
+        self.wave_size = wave_size
+        self.max_pending = max_pending
+        self.linger_seconds = linger_seconds
+        self.scheduling = scheduling
+        self.work_key = work_key if work_key is not None else (lambda item: 0.0)
+        self.clock = clock
+        self.stats = stats
+        self._pending: List[object] = []  # arrival order
+        self._oldest: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> Sequence[object]:
+        """The buffered items, in arrival order (read-only view)."""
+        return tuple(self._pending)
+
+    # ------------------------------------------------------------------ #
+    def push(self, item: object) -> List[List[object]]:
+        """Buffer one item; returns the waves this push flushed (often [])."""
+        if self._oldest is None:
+            self._oldest = self.clock()
+        self._pending.append(item)
+        if self.stats is not None:
+            self.stats.sample_pending(len(self._pending))
+
+        if (
+            self.linger_seconds is not None
+            and self.clock() - self._oldest >= self.linger_seconds
+        ):
+            return self._cut(partial=True, reason="timeout")
+        if len(self._pending) >= self.max_pending:
+            # Backpressure: cut every complete wave; when the bound is
+            # tighter than one wave, drain everything (a partial wave)
+            # rather than exceeding it.
+            return self._cut(partial=len(self._pending) < self.wave_size, reason="size")
+        return []
+
+    def flush(self) -> List[List[object]]:
+        """Drain everything pending (end of stream), partial wave included."""
+        return self._cut(partial=True, reason="final")
+
+    # ------------------------------------------------------------------ #
+    def _order(self) -> List[int]:
+        if self.scheduling == "fifo":
+            return list(range(len(self._pending)))
+        return sorted(
+            range(len(self._pending)),
+            key=lambda index: (self.work_key(self._pending[index]), index),
+        )
+
+    def _cut(self, *, partial: bool, reason: str) -> List[List[object]]:
+        if not self._pending:
+            return []
+        order = self._order()
+        take = len(order) if partial else (len(order) // self.wave_size) * self.wave_size
+        if take == 0:
+            return []
+        waves = [
+            [self._pending[index] for index in order[start : start + self.wave_size]]
+            for start in range(0, take, self.wave_size)
+        ]
+        remainder = sorted(order[take:])  # keep arrival order for determinism
+        self._pending = [self._pending[index] for index in remainder]
+        if not self._pending:
+            self._oldest = None
+        # A non-empty remainder keeps the current _oldest timestamp: the
+        # sorted cut may leave the oldest item pending, and a conservative
+        # age only makes the timeout fire sooner, never starve.
+        if self.stats is not None:
+            for wave in waves:
+                self.stats.record_wave(len(wave), reason)
+        return waves

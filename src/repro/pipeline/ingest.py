@@ -1,0 +1,82 @@
+"""Ingest stage: normalise read sources into a lazy record stream.
+
+The offline harness materialises a whole read list before anything else
+runs; the streaming pipeline instead consumes reads one at a time, so the
+mapper and the wave engine can start while ingest is still producing.
+:func:`stream_reads` is the single adapter boundary — everything downstream
+sees :class:`ReadRecord` values regardless of whether the source was a
+:class:`~repro.genomics.read_simulator.SimulatedRead` generator, a list of
+``(name, sequence)`` tuples, raw sequence strings, or a FASTA/FASTQ file on
+disk (streamed record by record via
+:func:`repro.genomics.fasta.iter_fasta` / ``iter_fastq``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+__all__ = ["ReadRecord", "stream_reads"]
+
+#: File suffixes routed to the FASTQ reader (everything else parses as FASTA).
+_FASTQ_SUFFIXES = {".fastq", ".fq"}
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One read as seen by the pipeline: arrival index, name, sequence."""
+
+    index: int
+    name: str
+    sequence: str
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+
+def _stream_path(path: Path) -> Iterator[tuple]:
+    if path.suffix.lower() in _FASTQ_SUFFIXES:
+        from repro.genomics.fasta import iter_fastq
+
+        return iter_fastq(path)
+    from repro.genomics.fasta import iter_fasta
+
+    return iter_fasta(path)
+
+
+def stream_reads(
+    source: Union[str, Path, Iterable], *, name_prefix: str = "read"
+) -> Iterator[ReadRecord]:
+    """Yield :class:`ReadRecord` values lazily from any supported source.
+
+    Accepted sources (detected per item, so mixed iterables work):
+
+    * a FASTA/FASTQ path (``str`` / ``Path``) — streamed from disk;
+    * an iterable of objects with ``name`` and ``sequence`` attributes
+      (e.g. :class:`~repro.genomics.read_simulator.SimulatedRead` or
+      :class:`ReadRecord` itself);
+    * an iterable of ``(name, sequence)`` or ``(name, sequence, quality)``
+      tuples (the FASTA/FASTQ record shapes);
+    * an iterable of bare sequence strings, named ``{name_prefix}_NNNNNN``.
+
+    Records are indexed by arrival order; that index is the pipeline's
+    global read ordinal and drives in-order result emission.
+    """
+    if isinstance(source, (str, Path)):
+        source = _stream_path(Path(source))
+
+    for index, item in enumerate(source):
+        if isinstance(item, str):
+            yield ReadRecord(index, f"{name_prefix}_{index:06d}", item)
+        elif isinstance(item, tuple) and 2 <= len(item) <= 3:
+            yield ReadRecord(index, str(item[0]), str(item[1]))
+        elif hasattr(item, "name") and hasattr(item, "sequence"):
+            yield ReadRecord(index, item.name, item.sequence)
+        else:
+            raise TypeError(
+                "unsupported read item: expected a sequence string, a "
+                "(name, sequence[, quality]) tuple, or an object with "
+                f".name/.sequence attributes, got {type(item).__name__}"
+            )

@@ -1,0 +1,100 @@
+"""Map stage: candidate generation over a read stream.
+
+Wraps a :class:`repro.mapping.mapper.Mapper` behind a submit/collect
+interface so the pipeline driver can overlap mapping with ingest and wave
+execution.  With ``workers == 1`` mapping is inline (deterministic and
+dependency-free); with ``workers > 1`` reads are mapped on a thread pool
+with a bounded in-flight window, and results are always collected in read
+submission order, so the pipeline's output order never depends on thread
+timing.
+
+Every mapped read yields its candidates in :meth:`Mapper.map_sequence`
+order — the exact order the offline path
+(:meth:`Mapper.map_reads` → :meth:`Mapper.align_candidates`) produces,
+which is what makes the streaming results byte-comparable to the offline
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.mapping.mapper import CandidateMapping, Mapper
+from repro.pipeline.ingest import ReadRecord
+from repro.pipeline.window import InflightWindow
+
+__all__ = ["MapStage", "MappedRead"]
+
+#: One mapped read: the record plus its candidate (mapping, pattern, text)
+#: triples in mapper order.
+MappedRead = Tuple[ReadRecord, List[Tuple[CandidateMapping, str, str]]]
+
+
+class MapStage:
+    """Bounded-window mapping stage over a :class:`Mapper`.
+
+    Parameters
+    ----------
+    mapper:
+        The minimizer mapper producing candidates.
+    workers:
+        Mapping threads.  ``1`` maps inline at submit time.
+    prefetch:
+        Maximum reads in flight before :meth:`submit` blocks on the oldest
+        one (the stage's backpressure bound; defaults to ``4 * workers``).
+    """
+
+    def __init__(
+        self, mapper: Mapper, *, workers: int = 1, prefetch: Optional[int] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if prefetch is not None and prefetch < 1:
+            raise ValueError("prefetch must be at least 1")
+        self.mapper = mapper
+        self.workers = workers
+        self.prefetch = prefetch if prefetch is not None else max(2, 4 * workers)
+        self._pool = None
+        self._window = InflightWindow(self.prefetch)
+
+    # ------------------------------------------------------------------ #
+    def map_record(self, record: ReadRecord) -> List[Tuple[CandidateMapping, str, str]]:
+        """Map one read; returns (candidate, pattern, text) in mapper order."""
+        candidates = self.mapper.map_sequence(record.name, record.sequence)
+        return [
+            (candidate,)
+            + self.mapper.candidate_region_sequence(candidate, record.sequence)
+            for candidate in candidates
+        ]
+
+    def submit(self, record: ReadRecord) -> None:
+        """Queue one read for mapping (inline, or on the thread pool)."""
+        if self.workers == 1:
+            self._window.append(record, self.map_record(record))
+            return
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-map"
+            )
+        self._window.append(record, self._pool.submit(self.map_record, record))
+
+    def collect(self, *, block: bool = False) -> List[MappedRead]:
+        """Pop completed reads from the front of the queue, in read order.
+
+        Non-blocking by default: returns the finished prefix, waiting only
+        when the in-flight window exceeds ``prefetch``.  With ``block=True``
+        everything queued is waited for (the end-of-stream drain).
+        """
+        return self._window.collect(block=block)
+
+    def drain(self) -> List[MappedRead]:
+        """Wait for and return every read still in flight, in read order."""
+        return self.collect(block=True)
+
+    def close(self) -> None:
+        """Shut down the thread pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,292 @@
+"""The streaming pipeline driver: ingest → map → batch → align → emit.
+
+:class:`StreamingPipeline` joins the stages of :mod:`repro.pipeline` into
+one overlapped dataflow.  Reads are pulled lazily from the source, mapped
+to candidate pairs (optionally on mapping threads), accumulated into
+sorted waves with bounded backpressure, aligned wave-at-a-time by the
+vectorized engine (optionally sharded across processes), and emitted as
+:class:`MappedAlignment` results **in candidate input order** — the exact
+order, CIGARs and metadata of the offline path
+(:meth:`Mapper.map_reads` → :meth:`BatchExecutor.run_alignments`), which
+the differential tests pin byte for byte.
+
+The offline harness instead materialises every candidate pair before the
+first wave runs; here the first wave can be aligning while ingest is still
+reading and mapping is still chaining, and independent waves shard across
+worker processes that receive pre-built wave inputs (no per-worker
+re-alignment from scratch).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.alignment import Alignment
+from repro.core.config import GenASMConfig
+from repro.mapping.mapper import CandidateMapping, Mapper
+from repro.pipeline.alignstage import AlignStage
+from repro.pipeline.batcher import WaveAccumulator
+from repro.pipeline.ingest import ReadRecord, stream_reads
+from repro.pipeline.mapstage import MapStage
+from repro.pipeline.stats import PipelineStats
+
+__all__ = ["CandidateWork", "MappedAlignment", "StreamingPipeline"]
+
+
+@dataclass(frozen=True)
+class CandidateWork:
+    """One candidate (pattern, text) pair flowing through the pipeline.
+
+    ``order`` is the global candidate ordinal (reads in input order,
+    candidates in mapper order within a read) — the key the emit stage
+    reorders by.  ``read``/``candidate`` are ``None`` when the work came
+    from a bare pair list (:meth:`StreamingPipeline.align_pairs`).
+    """
+
+    order: int
+    read: Optional[ReadRecord]
+    candidate: Optional[CandidateMapping]
+    pattern: str
+    text: str
+
+
+@dataclass(frozen=True)
+class MappedAlignment:
+    """One emitted result: the alignment plus its mapping provenance."""
+
+    order: int
+    read: Optional[ReadRecord]
+    candidate: Optional[CandidateMapping]
+    alignment: Alignment
+
+    @property
+    def read_name(self) -> str:
+        if self.read is not None:
+            return self.read.name
+        if self.candidate is not None:
+            return self.candidate.read_name
+        return ""
+
+
+class StreamingPipeline:
+    """Staged streaming read-mapping + alignment pipeline.
+
+    Parameters
+    ----------
+    mapper:
+        Candidate generator for :meth:`run`.  Optional —
+        :meth:`align_pairs` streams pre-built pairs without one.
+    config:
+        Aligner configuration (defaults to the paper's improved GenASM).
+    wave_size:
+        Lanes per dispatched wave (also the engine's ``max_lanes``).
+    max_pending:
+        Wave-accumulator backpressure bound (see
+        :class:`~repro.pipeline.batcher.WaveAccumulator`).
+    linger_seconds:
+        Accumulator flush timeout; ``None`` disables it.
+    scheduling:
+        Wave grouping policy, ``"sorted"`` or ``"fifo"``.
+    map_workers / align_workers:
+        Thread count of the map stage / process count of the align stage
+        (1 = inline, deterministic, dependency-free).
+    align_inflight:
+        Bound on waves in flight in the align stage.
+    scalar_traceback_threshold:
+        Forwarded to :class:`repro.batch.BatchAlignmentEngine`.
+
+    After a run, :attr:`stats` holds the :class:`PipelineStats` of the most
+    recent :meth:`run` / :meth:`align_pairs` call.
+    """
+
+    def __init__(
+        self,
+        mapper: Optional[Mapper] = None,
+        config: Optional[GenASMConfig] = None,
+        *,
+        wave_size: int = 128,
+        max_pending: int = 512,
+        linger_seconds: Optional[float] = None,
+        scheduling: str = "sorted",
+        map_workers: int = 1,
+        align_workers: int = 1,
+        align_inflight: Optional[int] = None,
+        scalar_traceback_threshold: Optional[int] = None,
+        name: str = "genasm-streaming",
+    ) -> None:
+        self.mapper = mapper
+        self.config = config if config is not None else GenASMConfig()
+        if wave_size < 1:
+            raise ValueError("wave_size must be at least 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.wave_size = wave_size
+        self.max_pending = max_pending
+        self.linger_seconds = linger_seconds
+        self.scheduling = scheduling
+        self.map_workers = map_workers
+        self.align_workers = align_workers
+        self.align_inflight = align_inflight
+        self.scalar_traceback_threshold = scalar_traceback_threshold
+        self.name = name
+        #: Stats of the most recent run (populated even on partial
+        #: consumption of the generator).
+        self.stats: Optional[PipelineStats] = None
+
+    # ------------------------------------------------------------------ #
+    def _build_align_stage(self) -> AlignStage:
+        kwargs = dict(
+            workers=self.align_workers,
+            inflight=self.align_inflight,
+            max_lanes=self.wave_size,
+            scheduling=self.scheduling,
+            name=self.name,
+        )
+        if self.scalar_traceback_threshold is not None:
+            kwargs["scalar_traceback_threshold"] = self.scalar_traceback_threshold
+        return AlignStage(self.config, **kwargs)
+
+    def _build_accumulator(self, stats: PipelineStats, align: AlignStage) -> WaveAccumulator:
+        # The sorted policy groups lanes by the same expected-work model the
+        # engine's own scheduler sorts by; reuse the align stage's in-process
+        # engine rather than building one just for the estimate.
+        engine = align.engine
+        return WaveAccumulator(
+            wave_size=self.wave_size,
+            max_pending=self.max_pending,
+            linger_seconds=self.linger_seconds,
+            scheduling=self.scheduling,
+            work_key=lambda work: float(engine.expected_windows(len(work.pattern))),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, reads: Union[str, Iterable], *, mapper: Optional[Mapper] = None
+    ) -> Iterator[MappedAlignment]:
+        """Stream reads end to end; yields results in candidate input order.
+
+        ``reads`` is anything :func:`repro.pipeline.ingest.stream_reads`
+        accepts (a FASTA/FASTQ path, simulated reads, name/sequence tuples,
+        bare strings).  Results appear as soon as their wave completes and
+        every earlier candidate has been emitted.
+        """
+        mapper = mapper if mapper is not None else self.mapper
+        if mapper is None:
+            raise ValueError(
+                "StreamingPipeline.run needs a mapper (pass one at "
+                "construction or per call); use align_pairs() for "
+                "pre-built pairs"
+            )
+        stats = PipelineStats(wave_size=self.wave_size)
+        self.stats = stats
+        return self._execute(self._mapped_works(reads, mapper, stats), stats)
+
+    def run_all(
+        self, reads: Union[str, Iterable], *, mapper: Optional[Mapper] = None
+    ) -> List[MappedAlignment]:
+        """:meth:`run`, materialised."""
+        return list(self.run(reads, mapper=mapper))
+
+    def align_pairs(self, pairs: Iterable[Tuple[str, str]]) -> List[Alignment]:
+        """Stream pre-built (pattern, text) pairs through batch + align.
+
+        The streaming counterpart of
+        :meth:`repro.parallel.executor.BatchExecutor.run_alignments`:
+        identical results in identical order, but pairs flow through the
+        wave accumulator and (optionally sharded) align stage instead of
+        one monolithic engine call.
+        """
+        stats = PipelineStats(wave_size=self.wave_size)
+        self.stats = stats
+        works = (
+            CandidateWork(order, None, None, pattern, text)
+            for order, (pattern, text) in enumerate(pairs)
+        )
+        return [mapped.alignment for mapped in self._execute(works, stats)]
+
+    # ------------------------------------------------------------------ #
+    def _mapped_works(
+        self, reads: Union[str, Iterable], mapper: Mapper, stats: PipelineStats
+    ) -> Iterator[CandidateWork]:
+        """Ingest + map: lazily turn a read source into CandidateWork items."""
+        map_stage = MapStage(mapper, workers=self.map_workers)
+        order = 0
+        try:
+            records = stream_reads(reads)
+            while True:
+                with stats.timer("ingest"):
+                    record = next(records, None)
+                if record is None:
+                    break
+                stats.reads += 1
+                with stats.timer("map"):
+                    map_stage.submit(record)
+                    completed = map_stage.collect()
+                for mapped_record, items in completed:
+                    for candidate, pattern, text in items:
+                        yield CandidateWork(order, mapped_record, candidate, pattern, text)
+                        order += 1
+            with stats.timer("map"):
+                completed = map_stage.drain()
+            for mapped_record, items in completed:
+                for candidate, pattern, text in items:
+                    yield CandidateWork(order, mapped_record, candidate, pattern, text)
+                    order += 1
+        finally:
+            map_stage.close()
+
+    def _execute(
+        self, works: Iterator[CandidateWork], stats: PipelineStats
+    ) -> Iterator[MappedAlignment]:
+        """Batch + align + emit over a work stream, in work order."""
+        start = time.perf_counter()
+        align = self._build_align_stage()
+        accumulator = self._build_accumulator(stats, align)
+        buffer: Dict[int, MappedAlignment] = {}
+        next_emit = 0
+
+        def absorb(
+            completed: List[Tuple[List[CandidateWork], List[Alignment]]]
+        ) -> List[MappedAlignment]:
+            nonlocal next_emit
+            with stats.timer("emit"):
+                for wave, alignments in completed:
+                    for work, alignment in zip(wave, alignments):
+                        buffer[work.order] = MappedAlignment(
+                            work.order, work.read, work.candidate, alignment
+                        )
+                    stats.aligned += len(wave)
+                stats.sample_reorder(len(buffer))
+                ready: List[MappedAlignment] = []
+                while next_emit in buffer:
+                    ready.append(buffer.pop(next_emit))
+                    next_emit += 1
+                return ready
+
+        try:
+            for work in works:
+                stats.candidates += 1
+                with stats.timer("batch"):
+                    waves = accumulator.push(work)
+                with stats.timer("align"):
+                    for wave in waves:
+                        align.submit(wave)
+                    completed = align.collect()
+                yield from absorb(completed)
+            with stats.timer("batch"):
+                waves = accumulator.flush()
+            with stats.timer("align"):
+                for wave in waves:
+                    align.submit(wave)
+                completed = align.drain()
+            yield from absorb(completed)
+            if buffer:
+                raise AssertionError(
+                    "pipeline finished with unemitted results (internal error)"
+                )
+        finally:
+            align.close()
+            stats.wall_seconds = time.perf_counter() - start

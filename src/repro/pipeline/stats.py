@@ -1,0 +1,172 @@
+"""Per-stage accounting of a streaming pipeline run.
+
+:class:`PipelineStats` is the observability half of :mod:`repro.pipeline`:
+it records how long the driver spent waiting on each stage, how full the
+wave accumulator ran (queue occupancy, backpressure and timeout flushes),
+and how well-packed the dispatched waves were (fill efficiency).  The E1s
+experiment and ``examples/e1s_smoke.py`` report it; the differential tests
+use the counts to assert the pipeline saw every read and candidate.
+
+Stage times are *driver wait times*: with worker pools attached to the map
+or align stage, a stage's seconds measure how long the pipeline loop
+blocked on that stage (submission plus waiting for results), so overlapped
+work shows up as ``wall_seconds`` smaller than the sum of the equivalent
+offline phases rather than as inflated per-stage numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["PIPELINE_STAGES", "PipelineStats"]
+
+#: The stages every run is accounted under, in dataflow order.
+PIPELINE_STAGES = ("ingest", "map", "batch", "align", "emit")
+
+
+@dataclass
+class PipelineStats:
+    """Counters and timings of one :class:`~repro.pipeline.StreamingPipeline` run.
+
+    Attributes
+    ----------
+    wave_size:
+        Configured lanes per wave (the denominator of fill efficiency).
+    reads, candidates, waves, aligned:
+        Items that crossed each boundary: reads ingested, candidate pairs
+        produced by mapping, waves dispatched, pairs aligned.
+    stage_seconds:
+        Wall seconds the driver spent waiting on each stage, keyed by
+        :data:`PIPELINE_STAGES`.
+    wall_seconds:
+        End-to-end wall time of the run.
+    wave_lane_counts:
+        Lane count of every dispatched wave, in dispatch order.
+    max_pending, pending_samples, pending_total:
+        Accumulator queue occupancy: high-water mark plus the running
+        sum/count of per-push samples (see :attr:`mean_pending`).
+    max_reorder_buffer:
+        High-water mark of the in-order emission buffer.
+    flushes:
+        Wave-flush causes: ``size`` (backpressure / full wave), ``timeout``
+        (linger expired), ``final`` (end of stream).
+    """
+
+    wave_size: int = 0
+    reads: int = 0
+    candidates: int = 0
+    waves: int = 0
+    aligned: int = 0
+    stage_seconds: Dict[str, float] = field(
+        default_factory=lambda: {stage: 0.0 for stage in PIPELINE_STAGES}
+    )
+    wall_seconds: float = 0.0
+    wave_lane_counts: List[int] = field(default_factory=list)
+    max_pending: int = 0
+    pending_samples: int = 0
+    pending_total: int = 0
+    max_reorder_buffer: int = 0
+    flushes: Dict[str, int] = field(
+        default_factory=lambda: {"size": 0, "timeout": 0, "final": 0}
+    )
+
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block onto ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stage_seconds[stage] += time.perf_counter() - start
+
+    def sample_pending(self, pending: int) -> None:
+        """Record one accumulator occupancy observation."""
+        self.max_pending = max(self.max_pending, pending)
+        self.pending_samples += 1
+        self.pending_total += pending
+
+    def sample_reorder(self, buffered: int) -> None:
+        """Record one emission-buffer occupancy observation."""
+        self.max_reorder_buffer = max(self.max_reorder_buffer, buffered)
+
+    def record_wave(self, lanes: int, reason: str) -> None:
+        """Record one dispatched wave and why it was flushed."""
+        self.waves += 1
+        self.wave_lane_counts.append(lanes)
+        self.flushes[reason] = self.flushes.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_pending(self) -> float:
+        """Average accumulator occupancy over all push samples."""
+        if self.pending_samples == 0:
+            return 0.0
+        return self.pending_total / self.pending_samples
+
+    @property
+    def full_waves(self) -> int:
+        """Waves dispatched with every lane occupied."""
+        return sum(1 for lanes in self.wave_lane_counts if lanes == self.wave_size)
+
+    @property
+    def wave_fill_efficiency(self) -> float:
+        """Occupied lane fraction over all dispatched waves (1.0 = all full)."""
+        if not self.wave_lane_counts or self.wave_size <= 0:
+            return 1.0
+        return sum(self.wave_lane_counts) / (len(self.wave_lane_counts) * self.wave_size)
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf") if self.reads else 0.0
+        return self.reads / self.wall_seconds
+
+    @property
+    def pairs_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf") if self.aligned else 0.0
+        return self.aligned / self.wall_seconds
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """Flat report-friendly view (what the E1s experiment rows embed)."""
+        return {
+            "reads": self.reads,
+            "candidates": self.candidates,
+            "waves": self.waves,
+            "aligned": self.aligned,
+            "wave_size": self.wave_size,
+            "full_waves": self.full_waves,
+            "wave_fill_efficiency": self.wave_fill_efficiency,
+            "wall_seconds": self.wall_seconds,
+            "stage_seconds": dict(self.stage_seconds),
+            "max_pending": self.max_pending,
+            "mean_pending": self.mean_pending,
+            "max_reorder_buffer": self.max_reorder_buffer,
+            "flushes": dict(self.flushes),
+            "reads_per_second": self.reads_per_second,
+            "pairs_per_second": self.pairs_per_second,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (used by the smoke examples)."""
+        stages = "  ".join(
+            f"{stage}={self.stage_seconds[stage]:.3f}s" for stage in PIPELINE_STAGES
+        )
+        return (
+            f"reads={self.reads} candidates={self.candidates} "
+            f"waves={self.waves} aligned={self.aligned}\n"
+            f"stage wait: {stages}\n"
+            f"wall={self.wall_seconds:.3f}s "
+            f"({self.reads_per_second:.1f} reads/s, "
+            f"{self.pairs_per_second:.1f} pairs/s)\n"
+            f"waves: fill={self.wave_fill_efficiency:.3f} "
+            f"full={self.full_waves}/{self.waves} flushes={self.flushes}\n"
+            f"queues: max_pending={self.max_pending} "
+            f"mean_pending={self.mean_pending:.1f} "
+            f"max_reorder={self.max_reorder_buffer}"
+        )

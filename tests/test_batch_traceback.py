@@ -123,8 +123,13 @@ class TestDifferentialEquivalence:
             pair_counter = AccessCounter()
             scalar.append(aligner.align(pattern, text, counter=pair_counter))
             scalar_counter.merge(pair_counter)
+        # threshold 0 forces the lockstep walk for every wave (the default
+        # small-wave heuristic would route these few-lane test batches to
+        # the scalar traceback and mask lockstep regressions).
         batch_counter = AccessCounter()
-        batch = BatchAlignmentEngine(config).align_pairs(pairs, counter=batch_counter)
+        batch = BatchAlignmentEngine(
+            config, scalar_traceback_threshold=0
+        ).align_pairs(pairs, counter=batch_counter)
 
         assert_pairwise_identical(scalar, batch, context)
         # Every AccessCounter field over the whole batch, including the
@@ -189,9 +194,15 @@ class TestGoldenCorpus:
             assert alignment.edit_distance == entry["edit_distance"]
             assert alignment.text_end == entry["text_end"]
 
-    def test_vectorized_reproduces_golden(self, corpus):
+    @pytest.mark.parametrize("threshold", [0, 10**9])
+    def test_vectorized_reproduces_golden(self, corpus, threshold):
+        # Both traceback paths of the dispatch heuristic reproduce the
+        # corpus: 0 forces the lockstep walk, the huge threshold forces
+        # the scalar per-lane walk.
         pairs = [(e["pattern"], e["text"]) for e in corpus["entries"]]
-        engine = BatchAlignmentEngine(GenASMConfig())
+        engine = BatchAlignmentEngine(
+            GenASMConfig(), scalar_traceback_threshold=threshold
+        )
         for entry, alignment in zip(corpus["entries"], engine.align_pairs(pairs)):
             assert str(alignment.cigar) == entry["cigar"]
             assert alignment.edit_distance == entry["edit_distance"]
@@ -278,10 +289,12 @@ class TestWaveScheduling:
 class TestWindowAccounting:
     """Window accounting lives in one spot and survives retry sub-waves."""
 
-    def test_retry_subwave_metrics_match_scalar(self, rng):
+    @pytest.mark.parametrize("threshold", [0, 10**9])
+    def test_retry_subwave_metrics_match_scalar(self, rng, threshold):
         # k = 1 forces budget-doubling retries on any window with >= 2
         # edits; the engine must still count each window once and charge
-        # exactly the scalar path's retry DP traffic.
+        # exactly the scalar path's retry DP traffic — under either
+        # traceback path of the dispatch heuristic.
         config = GenASMConfig(max_errors=1)
         pairs = []
         for length in (60, 96, 130):
@@ -296,13 +309,70 @@ class TestWindowAccounting:
             scalar.append(aligner.align(pattern, text, counter=pair_counter))
             scalar_counter.merge(pair_counter)
         batch_counter = AccessCounter()
-        batch = BatchAlignmentEngine(config).align_pairs(pairs, counter=batch_counter)
+        batch = BatchAlignmentEngine(
+            config, scalar_traceback_threshold=threshold
+        ).align_pairs(pairs, counter=batch_counter)
 
         assert_pairwise_identical(scalar, batch, "retry sub-waves")
         assert batch_counter.as_dict() == scalar_counter.as_dict()
         # The workload actually exercised retries (more rows than a single
         # k=1 attempt could compute over the counted windows).
         assert batch_counter.rows_computed > 2 * batch_counter.windows
+
+    def test_heuristic_threshold_never_changes_results_or_accounting(self, rng):
+        # The small-wave dispatch heuristic moves only the crossover
+        # between the two byte-identical traceback implementations:
+        # results AND counters are invariant to the threshold.
+        pairs = random_pairs(rng) + adversarial_pairs()
+        config = GenASMConfig()
+        reference_counter = AccessCounter()
+        reference = BatchAlignmentEngine(
+            config, scalar_traceback_threshold=0
+        ).align_pairs(pairs, counter=reference_counter)
+        for threshold in (1, 4, 10**9):
+            counter = AccessCounter()
+            engine = BatchAlignmentEngine(
+                config, scalar_traceback_threshold=threshold
+            )
+            got = engine.align_pairs(pairs, counter=counter)
+            assert_pairwise_identical(reference, got, f"threshold={threshold}")
+            assert counter.as_dict() == reference_counter.as_dict(), threshold
+
+    def test_traceback_path_recorded_in_metadata(self, rng):
+        pattern = random_dna(rng, 200)
+        pairs = [(pattern, mutate(rng, pattern, 12) + "ACGT")] * 4
+        lockstep = BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=0)
+        for alignment in lockstep.align_pairs(pairs):
+            assert alignment.metadata["traceback_path"] == "lockstep"
+        scalar = BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=10**9)
+        for alignment in scalar.align_pairs(pairs):
+            assert alignment.metadata["traceback_path"] == "scalar"
+        # Below the default threshold a small batch routes to the scalar
+        # walk; a pair with no DP windows at all reports "none".
+        default = BatchAlignmentEngine(GenASMConfig())
+        assert default.scalar_traceback_threshold > len(pairs)
+        for alignment in default.align_pairs(pairs):
+            assert alignment.metadata["traceback_path"] == "scalar"
+        empty = default.align_pairs([("", "ACGT")])[0]
+        assert empty.metadata["traceback_path"] == "none"
+
+    def test_mixed_traceback_path_on_shrinking_waves(self, rng):
+        # A wide wave of short pairs plus a few long pairs: early windows
+        # trace >= threshold lanes in lockstep, and once the short lanes
+        # finish, the surviving long lanes drop below the threshold and
+        # switch to the scalar walk — the long pairs record "mixed".
+        short_pattern = random_dna(rng, 40)
+        long_pattern = random_dna(rng, 400)
+        pairs = [(short_pattern, mutate(rng, short_pattern, 3) + "ACGT")] * 8
+        pairs += [(long_pattern, mutate(rng, long_pattern, 30) + "ACGT")] * 2
+        engine = BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=6)
+        alignments = engine.align_pairs(pairs)
+        assert all(a.metadata["traceback_path"] == "lockstep" for a in alignments[:8])
+        assert all(a.metadata["traceback_path"] == "mixed" for a in alignments[8:])
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=-1)
 
     def test_windows_counted_once_per_window(self):
         # One multi-window pair with the text exhausted halfway: both the

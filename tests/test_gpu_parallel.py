@@ -175,3 +175,30 @@ class TestParallel:
         fast = BatchResult(results=[], elapsed_seconds=1.0, items=100)
         slow = BatchResult(results=[], elapsed_seconds=2.0, items=100)
         assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_over_degenerate_timings_stay_finite_or_directional(self):
+        # Regression: two zero-elapsed runs used to produce inf / inf = nan.
+        from repro.parallel.executor import BatchResult
+
+        instant_a = BatchResult(results=[], elapsed_seconds=0.0, items=100)
+        instant_b = BatchResult(results=[], elapsed_seconds=0.0, items=100)
+        timed = BatchResult(results=[], elapsed_seconds=1.0, items=100)
+        assert instant_a.speedup_over(instant_b) == 1.0
+        assert instant_a.speedup_over(instant_a) == 1.0
+        assert instant_a.speedup_over(timed) == float("inf")
+        assert timed.speedup_over(instant_a) == 0.0
+        # Empty batches time out at 0 items / ~0 seconds too.
+        empty_a = BatchResult(results=[], elapsed_seconds=0.0, items=0)
+        empty_b = BatchResult(results=[], elapsed_seconds=0.0, items=0)
+        assert empty_a.speedup_over(empty_b) == 1.0
+        # Real empty batches: 0 items over a measurable elapsed time used
+        # to raise ZeroDivisionError (0.0 / 0.0 throughputs).
+        empty_timed_a = BatchResult(results=[], elapsed_seconds=0.002, items=0)
+        empty_timed_b = BatchResult(results=[], elapsed_seconds=0.003, items=0)
+        assert empty_timed_a.speedup_over(empty_timed_b) == 1.0
+        assert timed.speedup_over(empty_timed_a) == float("inf")
+        assert empty_timed_a.speedup_over(timed) == 0.0
+        # Mixed pairing follows throughput (inf for instantaneous runs,
+        # 0.0 for zero-item timed runs), not item counts.
+        assert empty_a.speedup_over(empty_timed_a) == float("inf")
+        assert empty_timed_a.speedup_over(empty_a) == 0.0

@@ -1,0 +1,364 @@
+"""Differential tests for the streaming pipeline (:mod:`repro.pipeline`).
+
+The subsystem contract: :class:`StreamingPipeline` produces **byte-identical
+alignments in identical order** to the offline path — candidate pairs
+materialised by :meth:`Mapper.map_reads` and aligned by
+:meth:`BatchExecutor.run_alignments` — regardless of wave size, chunk
+boundaries, worker pools, or flush policy.  Wave grouping and concurrency
+may only move throughput and latency, never a single CIGAR byte.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.config import GenASMConfig
+from repro.genomics.fasta import write_fasta, write_fastq
+from repro.harness.dataset import build_paper_dataset
+from repro.mapping.mapper import Mapper
+from repro.parallel.executor import BatchExecutor
+from repro.pipeline import (
+    MapStage,
+    ReadRecord,
+    StreamingPipeline,
+    WaveAccumulator,
+    stream_reads,
+)
+from tests.conftest import mutate, random_dna
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_paper_dataset(read_count=10, read_length=500, seed=5, max_pairs=None)
+
+
+@pytest.fixture(scope="module")
+def mapper(workload):
+    return Mapper(workload.genome, all_chains=True)
+
+
+@pytest.fixture(scope="module")
+def offline(workload, mapper):
+    """Offline reference: materialised candidates + vectorized batch run."""
+    candidates = mapper.map_reads(workload.reads)
+    sequences = {read.name: read.sequence for read in workload.reads}
+    pairs = [
+        mapper.candidate_region_sequence(c, sequences[c.read_name])
+        for c in candidates
+    ]
+    results = BatchExecutor(backend="vectorized").run_alignments(pairs).results
+    return candidates, pairs, results
+
+
+def assert_same_alignments(reference, got, context=""):
+    assert len(reference) == len(got), context
+    for want, have in zip(reference, got):
+        assert str(have.cigar) == str(want.cigar), context
+        assert have.edit_distance == want.edit_distance, context
+        assert have.text_end == want.text_end, context
+
+
+class TestIngest:
+    def test_simulated_reads_and_tuples_and_strings(self, workload):
+        reads = workload.reads[:3]
+        from_objects = list(stream_reads(reads))
+        from_tuples = list(stream_reads([(r.name, r.sequence) for r in reads]))
+        from_strings = list(stream_reads([r.sequence for r in reads]))
+        assert [r.name for r in from_objects] == [r.name for r in reads]
+        assert [r.sequence for r in from_objects] == [r.sequence for r in reads]
+        assert from_tuples == from_objects
+        assert [r.sequence for r in from_strings] == [r.sequence for r in reads]
+        assert [r.index for r in from_objects] == [0, 1, 2]
+
+    def test_fasta_and_fastq_paths_stream(self, tmp_path, workload):
+        reads = workload.reads[:4]
+        fasta = tmp_path / "reads.fasta"
+        fastq = tmp_path / "reads.fastq"
+        write_fasta(fasta, [(r.name, r.sequence) for r in reads])
+        write_fastq(fastq, [(r.name, r.sequence, r.quality) for r in reads])
+        for path in (fasta, fastq):
+            records = list(stream_reads(str(path)))
+            assert [r.name for r in records] == [r.name for r in reads]
+            assert [r.sequence for r in records] == [r.sequence for r in reads]
+
+    def test_lazy_iteration(self):
+        def infinite():
+            index = 0
+            while True:
+                yield f"ACGT{'A' * (index % 3)}"
+                index += 1
+
+        stream = stream_reads(infinite())
+        first = [next(stream) for _ in range(5)]
+        assert [r.index for r in first] == list(range(5))
+
+    def test_unsupported_item_type(self):
+        with pytest.raises(TypeError):
+            list(stream_reads([42]))
+
+
+class TestWaveAccumulator:
+    def _items(self, lengths):
+        return [
+            ReadRecord(index, f"r{index}", "A" * length)
+            for index, length in enumerate(lengths)
+        ]
+
+    def test_flush_on_size_emits_full_waves_and_keeps_remainder(self):
+        acc = WaveAccumulator(wave_size=3, max_pending=5, work_key=lambda i: i.length)
+        waves = []
+        for item in self._items([10, 20, 30, 40]):
+            waves.extend(acc.push(item))
+        assert waves == []
+        waves.extend(acc.push(self._items([5])[0]))  # 5th item hits the bound
+        assert len(waves) == 1  # one full wave of 3 lanes
+        assert len(waves[0]) == 3
+        # Sorted policy: the wave carries the three smallest work items.
+        assert sorted(i.length for i in waves[0]) == [5, 10, 20]
+        assert [i.length for i in acc.pending] == [30, 40]
+        final = acc.flush()
+        assert [len(w) for w in final] == [2]
+
+    def test_backpressure_tighter_than_wave_size_drains_partial(self):
+        acc = WaveAccumulator(wave_size=10, max_pending=2)
+        assert acc.push(1) == []
+        waves = acc.push(2)
+        assert [len(w) for w in waves] == [2]
+        assert len(acc) == 0
+
+    def test_flush_on_timeout(self):
+        now = [0.0]
+        acc = WaveAccumulator(
+            wave_size=8, max_pending=100, linger_seconds=2.0, clock=lambda: now[0]
+        )
+        assert acc.push("a") == []
+        now[0] = 1.0
+        assert acc.push("b") == []
+        now[0] = 2.5  # oldest item is now older than the linger bound
+        waves = acc.push("c")
+        assert [len(w) for w in waves] == [3]
+        assert len(acc) == 0
+        # The clock resets with the buffer: a fresh item does not flush.
+        assert acc.push("d") == []
+
+    def test_fifo_scheduling_keeps_arrival_order(self):
+        acc = WaveAccumulator(
+            wave_size=2, max_pending=4, scheduling="fifo", work_key=lambda i: -i
+        )
+        flushed = []
+        for item in (5, 4, 3, 2):
+            flushed.extend(acc.push(item))
+        assert flushed == [[5, 4], [3, 2]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaveAccumulator(wave_size=0)
+        with pytest.raises(ValueError):
+            WaveAccumulator(max_pending=0)
+        with pytest.raises(ValueError):
+            WaveAccumulator(linger_seconds=-1.0)
+        with pytest.raises(ValueError):
+            WaveAccumulator(scheduling="random")
+
+
+class TestMapStage:
+    def test_threaded_mapping_matches_inline_in_order(self, workload, mapper):
+        records = list(stream_reads(workload.reads))
+        inline = MapStage(mapper, workers=1)
+        threaded = MapStage(mapper, workers=3, prefetch=2)
+        try:
+            for record in records:
+                inline.submit(record)
+                threaded.submit(record)
+            a = inline.drain()
+            b = threaded.drain()
+        finally:
+            inline.close()
+            threaded.close()
+        assert [record.name for record, _ in a] == [r.name for r in records]
+        assert [record.name for record, _ in b] == [r.name for r in records]
+        for (_, items_a), (_, items_b) in zip(a, b):
+            assert [c.ref_start for c, _, _ in items_a] == [
+                c.ref_start for c, _, _ in items_b
+            ]
+            assert [(p, t) for _, p, t in items_a] == [(p, t) for _, p, t in items_b]
+
+
+class TestStreamingEquivalence:
+    """StreamingPipeline ≡ offline map-then-align, byte for byte, in order."""
+
+    def test_run_matches_offline_path(self, workload, mapper, offline):
+        candidates, _pairs, reference = offline
+        pipeline = StreamingPipeline(mapper, wave_size=8, max_pending=16)
+        results = pipeline.run_all(workload.reads)
+        assert [m.order for m in results] == list(range(len(candidates)))
+        assert [m.candidate.ref_start for m in results] == [
+            c.ref_start for c in candidates
+        ]
+        assert [m.read_name for m in results] == [c.read_name for c in candidates]
+        assert_same_alignments(reference, [m.alignment for m in results])
+        stats = pipeline.stats
+        assert stats.reads == len(workload.reads)
+        assert stats.candidates == len(candidates)
+        assert stats.aligned == len(candidates)
+
+    @pytest.mark.parametrize("wave_size", [1, 3, 7, 1000])
+    def test_chunk_boundaries_never_change_results(
+        self, workload, mapper, offline, wave_size
+    ):
+        # Wave sizes that do not divide the candidate count, a single-lane
+        # pipeline, and one wave holding everything: identical output.
+        _candidates, _pairs, reference = offline
+        pipeline = StreamingPipeline(mapper, wave_size=wave_size, max_pending=wave_size)
+        results = pipeline.run_all(workload.reads)
+        assert_same_alignments(
+            reference, [m.alignment for m in results], f"wave_size={wave_size}"
+        )
+
+    def test_align_pairs_matches_run_alignments(self, offline):
+        _candidates, pairs, reference = offline
+        streamed = StreamingPipeline(wave_size=4, max_pending=8).align_pairs(pairs)
+        assert_same_alignments(reference, streamed)
+        serial = BatchExecutor(backend="serial").run_alignments(pairs).results
+        assert_same_alignments(serial, streamed)
+
+    def test_empty_stream_and_empty_pairs(self, mapper):
+        pipeline = StreamingPipeline(mapper)
+        assert pipeline.run_all([]) == []
+        assert pipeline.stats.reads == 0
+        assert pipeline.stats.aligned == 0
+        assert pipeline.stats.wall_seconds >= 0
+        assert StreamingPipeline(wave_size=2).align_pairs([]) == []
+
+    def test_degenerate_pairs_stream_like_offline(self):
+        # Empty patterns/texts and single characters cross the pipeline
+        # exactly as they cross run_alignments (no filtering, no reorder).
+        pairs = [("", "ACGT"), ("ACGT", ""), ("A", "A"), ("", ""), ("ACGT" * 30, "ACG")]
+        reference = BatchExecutor(backend="vectorized").run_alignments(pairs).results
+        streamed = StreamingPipeline(wave_size=2, max_pending=2).align_pairs(pairs)
+        assert_same_alignments(reference, streamed)
+
+    def test_streaming_emission_is_in_order_and_incremental(self, workload, mapper):
+        pipeline = StreamingPipeline(mapper, wave_size=4, max_pending=4)
+        seen = []
+        for mapped in pipeline.run(workload.reads):
+            seen.append(mapped.order)
+        assert seen == sorted(seen)
+        assert pipeline.stats.waves >= 2  # the bound actually chunked the stream
+
+    def test_worker_pools_do_not_change_results(self, workload, mapper, offline):
+        _candidates, _pairs, reference = offline
+        pipeline = StreamingPipeline(
+            mapper, wave_size=8, max_pending=16, map_workers=2, align_workers=2
+        )
+        results = pipeline.run_all(workload.reads)
+        assert_same_alignments(reference, [m.alignment for m in results])
+
+    def test_mapper_align_candidates_streaming_backend(self, workload, mapper, offline):
+        candidates, _pairs, reference = offline
+        sequences = {read.name: read.sequence for read in workload.reads}
+        streamed = mapper.align_candidates(candidates, sequences, backend="streaming")
+        assert_same_alignments(reference, streamed)
+
+    def test_run_without_mapper_raises(self):
+        with pytest.raises(ValueError):
+            list(StreamingPipeline().run(["ACGT"]))
+
+    def test_max_pending_tighter_than_wave_size_is_honored(self, offline):
+        # The constructor passes the caller's backpressure bound through
+        # unclamped: with max_pending < wave_size the accumulator drains
+        # partial waves at the bound instead of buffering a full wave.
+        _candidates, pairs, reference = offline
+        pipeline = StreamingPipeline(wave_size=64, max_pending=4)
+        assert pipeline.max_pending == 4
+        streamed = pipeline.align_pairs(pairs)
+        assert_same_alignments(reference, streamed)
+        assert pipeline.stats.max_pending <= 4
+        assert max(pipeline.stats.wave_lane_counts) <= 4
+        with pytest.raises(ValueError):
+            StreamingPipeline(max_pending=0)
+
+
+class TestGoldenCorpusStreaming:
+    def test_streaming_reproduces_golden_corpus(self):
+        with open(DATA_DIR / "golden_corpus.json") as fh:
+            corpus = json.load(fh)
+        pairs = [(e["pattern"], e["text"]) for e in corpus["entries"]]
+        streamed = StreamingPipeline(wave_size=3, max_pending=5).align_pairs(pairs)
+        for entry, alignment in zip(corpus["entries"], streamed):
+            assert str(alignment.cigar) == entry["cigar"]
+            assert alignment.edit_distance == entry["edit_distance"]
+            assert alignment.text_end == entry["text_end"]
+
+
+class TestPipelineStats:
+    def test_stage_times_and_wave_fill(self, workload, mapper):
+        pipeline = StreamingPipeline(mapper, wave_size=4, max_pending=8)
+        pipeline.run_all(workload.reads)
+        stats = pipeline.stats
+        assert set(stats.stage_seconds) == {"ingest", "map", "batch", "align", "emit"}
+        assert stats.wall_seconds > 0
+        assert stats.stage_seconds["align"] > 0
+        assert 0 < stats.wave_fill_efficiency <= 1.0
+        assert stats.max_pending <= 8
+        assert sum(stats.flushes.values()) == stats.waves
+        as_dict = stats.as_dict()
+        assert as_dict["aligned"] == stats.aligned
+        assert "stage_seconds" in as_dict
+        assert "reads/s" in stats.summary()
+
+    def test_wave_fill_uses_dispatch_time_lane_counts(self):
+        # Fill efficiency is a property of the dispatched waves alone: when
+        # results lag dispatch (waves still in flight on a sharded align
+        # stage, or a caller abandoning the result generator early leaves
+        # stats.aligned behind), the ratio must not deflate.
+        from repro.pipeline import PipelineStats
+
+        stats = PipelineStats(wave_size=4)
+        stats.record_wave(4, "size")
+        stats.record_wave(2, "final")
+        assert stats.aligned == 0  # nothing absorbed yet
+        assert stats.wave_fill_efficiency == pytest.approx(6 / 8)
+
+    def test_random_work_stream_with_backpressure(self, rng):
+        # A synthetic mixed-length pair stream under a tight bound: every
+        # flush cause can fire and the output still matches offline.
+        pairs = []
+        for _ in range(40):
+            length = rng.choice([10, 50, 120, 300])
+            pattern = random_dna(rng, length)
+            pairs.append((pattern, mutate(rng, pattern, max(1, length // 10)) + "AC"))
+        reference = BatchExecutor(backend="vectorized").run_alignments(pairs).results
+        pipeline = StreamingPipeline(wave_size=8, max_pending=8)
+        streamed = pipeline.align_pairs(pairs)
+        assert_same_alignments(reference, streamed)
+        assert pipeline.stats.flushes["size"] > 0
+
+
+class TestStreamingExperiment:
+    def test_e1s_rows(self):
+        from repro.harness.experiments import run_streaming_throughput_experiment
+
+        rows = run_streaming_throughput_experiment(
+            read_count=6, read_length=400, seed=3
+        )
+        assert {row["id"] for row in rows} == {
+            "E1s_streaming_vs_offline_serial",
+            "E1s_streaming_vs_offline_vectorized",
+        }
+        for row in rows:
+            assert row["identical_results"] is True
+            assert row["measured"] > 0
+            assert set(row["stage_seconds"]) == {
+                "ingest",
+                "map",
+                "batch",
+                "align",
+                "emit",
+            }
+            assert row["pipeline_stats"]["aligned"] == row["pairs"]
