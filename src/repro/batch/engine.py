@@ -4,54 +4,63 @@ The scalar pipeline (:mod:`repro.core.windowing`) aligns one window at a
 time with a Python-int hot loop.  For batch workloads the per-step work is
 identical across pairs — the GenASM recurrence is the same five bitvector
 operations regardless of the sequences — so this engine evaluates **many
-window pairs in lockstep**: one ``uint64`` lane per pair, with the DP step
-``(d, j)`` applied to all lanes at once as NumPy array operations.  The
-Python interpreter then executes ``rows × n_max`` steps per *wave* instead
-of ``rows × n`` steps per *pair*, amortising interpreter overhead across
-the wave width.
+window pairs in lockstep**: one multi-word lane per pair
+(``W = ceil(window_size / 64)`` ``uint64`` words, see
+:mod:`repro.batch.soa`), with the DP step ``(d, j)`` applied to all lanes
+at once as NumPy array operations.  The Python interpreter then executes
+``rows × n_max`` steps per *wave* instead of ``rows × n`` steps per
+*pair*, amortising interpreter overhead across the wave width.
 
 Equivalence contract
 --------------------
-The engine is not an approximation: it persists exactly the band-packed
-entries the scalar :func:`repro.core.genasm_dc.genasm_dc` would store
-(including the traceback-reachability placeholders) and traces every lane
-back over that state with the lockstep decision-word traceback of
+The engine is not an approximation: it persists exactly the rows the
+scalar :func:`repro.core.genasm_dc.genasm_dc` would store (kept full-width
+in SoA layout; band packing and the traceback-reachability placeholders
+are applied lazily, see :meth:`WaveDCState.table` and
+:meth:`repro.batch.soa.SoAWave.zero_view_mask`) and traces every lane back
+over that state with the lockstep decision-word traceback of
 :mod:`repro.batch.traceback`, which replicates the scalar
 :func:`repro.core.genasm_tb.genasm_traceback` bit for bit — decisions *and*
 read accounting.  Alignments (CIGAR, edit distance, consumed text span) and
 the E-series accounting (DP accesses, stored bytes, windows, rows) are
 therefore identical to the scalar path — the differential test harness
 (``tests/test_batch_traceback.py``) asserts this per field across every
-improvement-toggle combination.
+improvement-toggle combination and over single- and multi-word window
+widths (32..150).
 
 Structure
 ---------
 * :func:`run_dc_wave_state` — the lockstep GenASM-DC kernel over a
   :class:`repro.batch.soa.SoAWave`; returns a :class:`WaveDCState` keeping
   the stored rows in SoA layout (what the lockstep traceback consumes).
+  The recurrence carries the shifted bit across lane words, so windows
+  wider than 64 characters (short-read configs) vectorize too.
 * :func:`run_dc_wave` — compatibility wrapper materialising one scalar
   :class:`~repro.core.genasm_dc.DCTable` per lane from the wave state.
 * :class:`BatchAlignmentEngine` — the windowed aligner: all pairs advance
   their current window together (one wave per windowing step), lanes whose
   error budget fails are retried in doubling sub-waves, and finished pairs
   drop out of subsequent waves.  Mixed-length batches are scheduled into
-  waves by expected window count (see :meth:`BatchAlignmentEngine.schedule`)
-  so chunked lanes run in lockstep with similarly-sized neighbours.
+  waves by expected lockstep work — window count × words per lane (see
+  :meth:`BatchAlignmentEngine.schedule`) — so chunked lanes run in
+  lockstep with similarly-sized neighbours.
 
-Patterns wider than 64 characters per window do not fit a ``uint64`` lane;
-such configurations transparently fall back to the scalar aligner (see
-:attr:`BatchAlignmentEngine.vectorizable`).
+Only configurations with ``word_bits != 64`` fall back to the scalar
+aligner (the SoA layout is built from ``uint64`` words); the fallback is
+recorded in each alignment's ``metadata["vectorized"]`` and warned about
+once per engine (see :attr:`BatchAlignmentEngine.vectorizable`).
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.batch.soa import MAX_LANE_BITS, LaneJob, SoAWave, lockstep_stats
+from repro.batch.soa import MAX_LANE_BITS, LaneJob, SoAWave, lane_words, lockstep_stats
 from repro.batch.traceback import (
     OPS_BY_CODE,
     build_wave_decisions,
@@ -79,10 +88,18 @@ SCHEDULING_POLICIES = ("sorted", "fifo")
 
 _U1 = np.uint64(1)
 _U0 = np.uint64(0)
+_U63 = np.uint64(MAX_LANE_BITS - 1)
 
 #: Packed op code per CigarOp (see repro.batch.traceback.OPS_BY_CODE).
 _CODE_BY_OP = {op: code for code, op in enumerate(OPS_BY_CODE)}
 _INSERTION_CODE = _CODE_BY_OP[CigarOp.INSERTION]
+
+#: ``_CLEAR_LOW[c]`` clears the ``c`` low bits (``c`` in 0..64); used to
+#: build row 0 (``(ones << d) & ones``) without undefined 64-bit shifts.
+_CLEAR_LOW = np.array(
+    [(~((1 << c) - 1)) & ((1 << 64) - 1) for c in range(MAX_LANE_BITS + 1)],
+    dtype=np.uint64,
+)
 
 #: Default lane count below which the scalar per-lane traceback beats the
 #: lockstep walk (see BatchAlignmentEngine.scalar_traceback_threshold).
@@ -92,25 +109,43 @@ _INSERTION_CODE = _CODE_BY_OP[CigarOp.INSERTION]
 DEFAULT_SCALAR_TRACEBACK_THRESHOLD = 24
 
 
+def _shl1(value: np.ndarray, ones: np.ndarray) -> np.ndarray:
+    """Multi-word ``(value << 1) & ones`` with cross-word carry.
+
+    ``value`` has the word axis first; bit 63 of word ``w`` shifts into bit
+    0 of word ``w + 1``.  ``ones`` must broadcast against ``value``.
+    """
+    out = value << _U1
+    if out.shape[0] > 1:
+        out[1:] |= value[:-1] >> _U63
+    out &= ones
+    return out
+
+
 @dataclass
 class WaveDCState:
     """Raw SoA outcome of one lockstep GenASM-DC wave.
 
-    Keeps the stored rows exactly as the wave persisted them (band-packed
-    ``uint64`` arrays, or quad tuples without entry compression) so the
-    lockstep traceback can derive its decision words without ever
-    materialising per-lane Python lists.  Per-lane DP accounting has
-    already been charged to each :class:`~repro.batch.soa.LaneJob` counter
-    when this object exists; :meth:`tables` only reshapes state.
+    Keeps the stored rows exactly as the wave computed them — full-width
+    multi-word ``uint64`` arrays ``(W, L, n_max + 1)`` (or quad tuples of
+    ``(W, L, n_max)`` without entry compression) — so the lockstep
+    traceback can derive its decision words without ever materialising
+    per-lane Python lists.  Band packing and traceback-reachability
+    placeholders are applied lazily: :meth:`table` reproduces the scalar
+    path's packed storage value for value, and
+    :meth:`repro.batch.soa.SoAWave.zero_view_mask` imposes the same
+    semantics on the decision planes.  Per-lane DP accounting has already
+    been charged to each :class:`~repro.batch.soa.LaneJob` counter when
+    this object exists; :meth:`tables` only reshapes state.
     """
 
     wave: SoAWave
     entry_compression: bool
     early_termination: bool
-    #: per evaluated row: packed R ``(L, n_max + 1)`` or 4-tuple of
-    #: ``(L, n_max)`` intermediates, in SoA layout
+    #: per evaluated row: full-width R ``(W, L, n_max + 1)`` or 4-tuple of
+    #: ``(W, L, n_max)`` intermediates, in SoA layout
     stored_rows: List[object]
-    #: final-column value per evaluated row, ``(L,)`` each
+    #: final-column value per evaluated row, ``(W, L)`` each
     final_cols: List[np.ndarray]
     rows_computed: np.ndarray
     #: minimum error level per lane, ``-1`` when the budget failed
@@ -127,50 +162,96 @@ class WaveDCState:
             entries = self.rows_computed * np.maximum(0, np.minimum(columns, wave.n))
         return entries * per_entry
 
+    @staticmethod
+    def _lane_ints(words: np.ndarray) -> List[int]:
+        """Combine a ``(W, cols)`` word slice into per-column Python ints."""
+        if words.shape[0] == 1:
+            return words[0].tolist()
+        out = words[-1].tolist()
+        for w in range(words.shape[0] - 2, -1, -1):
+            low = words[w].tolist()
+            out = [(high << MAX_LANE_BITS) | value for high, value in zip(out, low)]
+        return out
+
     def table(self, lane: int) -> DCTable:
         """Materialise the scalar :class:`DCTable` of one lane.
 
         Used by the compat wrapper (:meth:`tables`) and by the engine's
         small-wave scalar-traceback path, which trades the lockstep walk's
         per-step NumPy dispatch overhead for a per-lane Python loop when
-        few lanes need tracing.
+        few lanes need tracing.  The full-width wave rows are band-packed
+        and placeholder-substituted here, reproducing the scalar storage
+        exactly (``tests/test_batch_engine.py`` pins this state for state).
         """
         wave = self.wave
         job = wave.jobs[lane]
         rows_i = int(self.rows_computed[lane])
         n_i = int(wave.n[lane])
+        m_i = int(wave.m[lane])
         found = int(self.min_errors[lane])
+        store_from = int(wave.store_from[lane])
+        band = wave.traceback_band
+        ones_int = (1 << m_i) - 1
+        band_lo = [int(x) for x in wave.band_lo[lane, : n_i + 1]]
+        band_mask_int = (1 << int(wave.band_width[lane])) - 1
+
         table = DCTable(
             pattern=job.pattern,
             text=job.text,
             max_errors=int(wave.k[lane]),
             entry_compression=self.entry_compression,
             early_termination=self.early_termination,
-            traceback_band=wave.traceback_band,
+            traceback_band=band,
             word_bits=wave.word_bits,
-            store_from_column=int(wave.store_from[lane]),
+            store_from_column=store_from,
             counter=job.counter,
         )
         table.rows_computed = rows_i
         table.min_errors = found if found >= 0 else None
-        table.final_column = [int(self.final_cols[d][lane]) for d in range(rows_i)]
+        table.final_column = [
+            sum(
+                int(self.final_cols[d][w, lane]) << (MAX_LANE_BITS * w)
+                for w in range(wave.words)
+            )
+            for d in range(rows_i)
+        ]
         if self.entry_compression:
-            table.stored_r = [
-                self.stored_rows[d][lane, : n_i + 1].tolist() for d in range(rows_i)
-            ]
+            stored_r: List[List[int]] = []
+            for d in range(rows_i):
+                values = self._lane_ints(self.stored_rows[d][:, lane, : n_i + 1])
+                if band:
+                    values = [
+                        ((value >> band_lo[j]) & band_mask_int)
+                        if j >= store_from
+                        else ones_int
+                        for j, value in enumerate(values)
+                    ]
+                stored_r.append(values)
+            table.stored_r = stored_r
         else:
-            table.stored_quad = [
-                list(
-                    zip(
-                        self.stored_rows[d][0][lane, :n_i].tolist(),
-                        self.stored_rows[d][1][lane, :n_i].tolist(),
-                        self.stored_rows[d][2][lane, :n_i].tolist(),
-                        self.stored_rows[d][3][lane, :n_i].tolist(),
-                    )
-                )
-                for d in range(rows_i)
-            ]
-        table._band_lo = [int(x) for x in wave.band_lo[lane, : n_i + 1]]
+            stored_quad: List[List[Tuple[int, int, int, int]]] = []
+            for d in range(rows_i):
+                quads = [
+                    self._lane_ints(component[:, lane, :n_i])
+                    for component in self.stored_rows[d]
+                ]
+                row = []
+                for j in range(1, n_i + 1):
+                    if j < store_from:
+                        row.append((ones_int,) * 4)
+                    elif band:
+                        lo = band_lo[j]
+                        row.append(
+                            tuple(
+                                (component[j - 1] >> lo) & band_mask_int
+                                for component in quads
+                            )
+                        )
+                    else:
+                        row.append(tuple(component[j - 1] for component in quads))
+                stored_quad.append(row)
+            table.stored_quad = stored_quad
+        table._band_lo = band_lo
         table._band_width = None  # lazily derived; identical to scalar
         return table
 
@@ -212,25 +293,31 @@ def run_dc_wave_state(
     :class:`WaveDCState` feeds the lockstep traceback directly (via
     :func:`repro.batch.traceback.build_wave_decisions`), avoiding the
     per-lane Python-list materialisation :func:`run_dc_wave` performs.
-    Per-lane DP accounting (entries, rows, writes, skipped rows) is charged
-    to each lane's counter before returning.
+    Lanes are ``wave.words`` ``uint64`` words wide; every shift in the
+    recurrence carries bit 63 of word ``w`` into bit 0 of word ``w + 1``
+    (:func:`_shl1`), and the solution test probes each lane's
+    ``(msb_word, msb_shift)``.  Per-lane DP accounting (entries, rows,
+    writes, skipped rows) is charged to each lane's counter before
+    returning.
     """
     L = wave.lanes
+    W = wave.words
     n_max = wave.n_max
-    traceback_band = wave.traceback_band
     m, n, k, ones, masks = wave.m, wave.n, wave.k, wave.ones, wave.masks
     lane_idx = np.arange(L)
-    msb_shift = (m - 1).astype(np.uint64)
-    ones_col = ones[:, None]
+    msb_word, msb_shift = wave.msb_word, wave.msb_shift
+    ones_cols = ones[:, :, None]
+    word_base = (np.arange(W, dtype=np.int64) * MAX_LANE_BITS)[:, None]
+    multi_word = W > 1
 
-    R_prev = np.zeros((L, n_max + 1), dtype=np.uint64)
-    R_cur = np.zeros((L, n_max + 1), dtype=np.uint64)
+    R_prev = np.zeros((W, L, n_max + 1), dtype=np.uint64)
+    R_cur = np.zeros((W, L, n_max + 1), dtype=np.uint64)
 
     rows_computed = np.zeros(L, dtype=np.int64)
     min_errors = np.full(L, -1, dtype=np.int64)
     done = np.zeros(L, dtype=bool)
 
-    stored_rows: List[object] = []  # per row: packed R (L, n_max+1) or 4-tuple of (L, n_max)
+    stored_rows: List[object] = []  # per row: R (W, L, n_max+1) or 4-tuple of (W, L, n_max)
     final_cols: List[np.ndarray] = []
 
     for d in range(wave.k_max + 1):
@@ -238,12 +325,12 @@ def run_dc_wave_state(
         if not computing.any():
             break
 
-        # Column 0: pattern prefixes alignable against the empty text suffix.
-        if d <= MAX_LANE_BITS - 1:
-            row0 = np.where(d < m, (ones << np.uint64(d)) & ones, _U0)
-        else:
-            row0 = np.zeros(L, dtype=np.uint64)
-        R_cur[:, 0] = row0
+        # Column 0: pattern prefixes alignable against the empty text
+        # suffix — (ones << d) & ones, i.e. ones with the d low bits
+        # cleared; per word w that clears clamp(d - 64 w, 0, 64) bits
+        # (rows at or past a lane's pattern length come out all zero).
+        row0 = ones & _CLEAR_LOW[np.clip(d - word_base, 0, MAX_LANE_BITS)]
+        R_cur[:, :, 0] = row0
 
         # Lockstep scan along the text.  The match chain is a sequential
         # dependency (value[j] needs value[j-1]), so j stays a Python loop;
@@ -252,53 +339,45 @@ def run_dc_wave_state(
         prev_value = row0
         if d == 0:
             for j in range(1, n_max + 1):
-                value = ((prev_value << _U1) & ones) | masks[:, j - 1]
-                R_cur[:, j] = value
+                shifted = prev_value << _U1
+                if multi_word:
+                    shifted[1:] |= prev_value[:-1] >> _U63
+                value = (shifted & ones) | masks[:, :, j - 1]
+                R_cur[:, :, j] = value
                 prev_value = value
         else:
-            subst_all = (R_prev[:, :-1] << _U1) & ones_col
-            ins_all = (R_prev[:, 1:] << _U1) & ones_col
-            partial = subst_all & ins_all & R_prev[:, :-1]
+            subst_all = _shl1(R_prev[:, :, :-1], ones_cols)
+            ins_all = _shl1(R_prev[:, :, 1:], ones_cols)
+            partial = subst_all & ins_all & R_prev[:, :, :-1]
             for j in range(1, n_max + 1):
-                value = (((prev_value << _U1) & ones) | masks[:, j - 1]) & partial[:, j - 1]
-                R_cur[:, j] = value
+                shifted = prev_value << _U1
+                if multi_word:
+                    shifted[1:] |= prev_value[:-1] >> _U63
+                value = ((shifted & ones) | masks[:, :, j - 1]) & partial[:, :, j - 1]
+                R_cur[:, :, j] = value
                 prev_value = value
 
-        # Persist the row, band-packed, with the scalar path's placeholder
-        # (all-ones) for pruned / out-of-range columns.
+        # Persist the row full-width; the band packing and pruned-column
+        # placeholders of the scalar storage are applied lazily (table(),
+        # zero_view_mask), so the hot loop never pays per-column packing.
         if entry_compression:
-            if traceback_band:
-                packed = (R_cur >> wave.band_lo) & wave.band_mask[:, None]
-                stored_rows.append(np.where(wave.store_col, packed, ones_col))
-            else:
-                stored_rows.append(R_cur.copy())
+            stored_rows.append(R_cur.copy())
         else:
             if d == 0:
-                match_row = R_cur[:, 1:]
-                subst_row = ins_row = del_row = np.broadcast_to(ones_col, (L, n_max))
+                match_row = R_cur[:, :, 1:].copy()
+                placeholder = np.broadcast_to(ones_cols, (W, L, n_max))
+                subst_row = ins_row = del_row = placeholder
             else:
-                match_row = ((R_cur[:, :-1] << _U1) & ones_col) | masks
-                subst_row, ins_row, del_row = subst_all, ins_all, R_prev[:, :-1]
-            if traceback_band:
-                lo_q = wave.band_lo[:, 1:]
-                mask_q = wave.band_mask[:, None]
-                keep = wave.store_col[:, 1:]
-                stored_rows.append(
-                    tuple(
-                        np.where(keep, (x >> lo_q) & mask_q, ones_col)
-                        for x in (match_row, subst_row, ins_row, del_row)
-                    )
-                )
-            else:
-                stored_rows.append(
-                    tuple(np.array(x) for x in (match_row, subst_row, ins_row, del_row))
-                )
+                match_row = _shl1(R_cur[:, :, :-1], ones_cols) | masks
+                subst_row, ins_row = subst_all, ins_all
+                del_row = R_prev[:, :, :-1].copy()
+            stored_rows.append((match_row, subst_row, ins_row, del_row))
 
-        final_val = R_cur[lane_idx, n]
+        final_val = R_cur[:, lane_idx, n]  # (W, L)
         final_cols.append(final_val)
         rows_computed[computing] += 1
 
-        solution = ((final_val >> msb_shift) & _U1) == _U0
+        solution = ((final_val[msb_word, lane_idx] >> msb_shift) & _U1) == _U0
         newly = computing & solution & (min_errors < 0)
         min_errors[newly] = d
         if early_termination:
@@ -415,9 +494,13 @@ class BatchAlignmentEngine:
     Parameters
     ----------
     config:
-        Aligner configuration; must use ``window_size <= 64`` for the
-        vectorized path (one ``uint64`` lane per pair).  Wider windows fall
-        back to the scalar aligner so the engine is total over configs.
+        Aligner configuration.  Windows of any width vectorize — a window
+        of ``W`` characters occupies ``ceil(W / 64)`` ``uint64`` words per
+        lane (:attr:`words_per_lane`), so ``GenASMConfig.short_read``
+        workloads take the lockstep path too.  Only ``word_bits != 64``
+        falls back to the scalar aligner (the SoA layout is built from
+        64-bit words); the fallback is observable via
+        ``metadata["vectorized"]`` and a one-time :class:`RuntimeWarning`.
     name:
         Label attached to produced alignments.
     max_lanes:
@@ -425,12 +508,13 @@ class BatchAlignmentEngine:
         chunks of this many pairs (bounds wave memory).
     scheduling:
         Wave-scheduling policy: ``"sorted"`` (default) orders lanes by
-        expected window count before chunking, so each ``max_lanes``-wide
-        chunk runs lanes of similar lifetime in lockstep (returned
-        alignments are always restored to input order); ``"fifo"`` chunks
-        in input order.  The policy never changes any alignment — only the
-        lockstep efficiency of mixed-length batches (see
-        :meth:`scheduling_stats`).
+        expected lockstep work — window count × words per lane
+        (:meth:`expected_work`) — before chunking, so each
+        ``max_lanes``-wide chunk runs lanes of similar lifetime in lockstep
+        (returned alignments are always restored to input order);
+        ``"fifo"`` chunks in input order.  The policy never changes any
+        alignment — only the lockstep efficiency of mixed-length batches
+        (see :meth:`scheduling_stats`).
     scalar_traceback_threshold:
         Small-wave dispatch heuristic: when fewer than this many lanes of a
         wave need tracing, the traceback runs the scalar per-lane walk
@@ -468,11 +552,22 @@ class BatchAlignmentEngine:
         self.max_lanes = max_lanes
         self.scheduling = scheduling
         self.scalar_traceback_threshold = scalar_traceback_threshold
+        self._fallback_warned = False
 
     @property
     def vectorizable(self) -> bool:
-        """Whether this configuration fits the uint64 lane layout."""
-        return self.config.window_size <= MAX_LANE_BITS and self.config.word_bits == 64
+        """Whether this configuration fits the multi-word uint64 lane layout.
+
+        Any ``window_size`` vectorizes (wide windows just use more words
+        per lane); only a non-64 ``word_bits`` — which changes the scalar
+        path's modelled entry sizes — forces the scalar fallback.
+        """
+        return self.config.word_bits == 64
+
+    @property
+    def words_per_lane(self) -> int:
+        """``uint64`` words per full-width lane: ``ceil(window_size / 64)``."""
+        return lane_words(self.config.window_size)
 
     # ------------------------------------------------------------------ #
     def expected_windows(self, pattern_length: int) -> int:
@@ -481,8 +576,7 @@ class BatchAlignmentEngine:
         Exact for this engine and for :func:`repro.core.windowing.align_windowed`:
         each non-final window commits ``window_step`` pattern columns and the
         final window consumes the rest, so the count depends only on the
-        pattern length.  This is the per-lane "work" quantity the wave
-        scheduler equalises within chunks.
+        pattern length.
         """
         if pattern_length <= 0:
             return 0
@@ -491,33 +585,51 @@ class BatchAlignmentEngine:
             return 1
         return 1 + math.ceil((pattern_length - window) / self.config.window_step)
 
+    def expected_work(self, pattern_length: int) -> int:
+        """Expected lockstep work of one lane: window count × words/lane.
+
+        This is the per-lane quantity the wave scheduler equalises within
+        chunks.  A pattern shorter than the window occupies only
+        ``ceil(len / 64)`` words, so with wide-window (short-read) configs
+        a 40 bp fragment costs one word-step per window while a 150 bp
+        read costs three — sorting by window count alone would let narrow
+        lanes pad three-word waves.
+        """
+        if pattern_length <= 0:
+            return 0
+        return self.expected_windows(pattern_length) * lane_words(
+            min(self.config.window_size, pattern_length)
+        )
+
     def schedule(self, pairs: Sequence[Tuple[str, str]]) -> List[int]:
         """Lane order used when chunking ``pairs`` into waves.
 
-        With ``"sorted"`` scheduling, indices are stably ordered by expected
-        window count so lanes of similar lifetime share a chunk — lanes of
-        dissimilar window counts pad each other's waves (the SIMT
-        warp-divergence cost :func:`repro.batch.soa.lockstep_stats` models).
-        ``"fifo"`` returns the identity order.
+        With ``"sorted"`` scheduling, indices are stably ordered by
+        expected lockstep work (:meth:`expected_work`) so lanes of similar
+        lifetime share a chunk — lanes of dissimilar window counts or word
+        widths pad each other's waves (the SIMT warp-divergence cost
+        :func:`repro.batch.soa.lockstep_stats` models).  ``"fifo"`` returns
+        the identity order.
         """
         if self.scheduling == "fifo":
             return list(range(len(pairs)))
         return sorted(
             range(len(pairs)),
-            key=lambda index: self.expected_windows(len(pairs[index][0])),
+            key=lambda index: self.expected_work(len(pairs[index][0])),
         )
 
     def scheduling_stats(self, pairs: Sequence[Tuple[str, str]]) -> Dict[str, float]:
         """Lockstep efficiency of this engine's wave schedule over ``pairs``.
 
         Applies :func:`repro.batch.soa.lockstep_stats` to the scheduled
-        per-lane expected window counts with ``max_lanes``-wide groups —
-        the same model :meth:`repro.gpu.simulator.GpuSimulator.warp_divergence`
-        uses for warps.
+        per-lane expected work (window count × words/lane) with
+        ``max_lanes``-wide groups — the same model
+        :meth:`repro.gpu.simulator.GpuSimulator.warp_divergence` uses for
+        warps.
         """
         group = self.max_lanes if self.max_lanes is not None else max(1, len(pairs))
         work = [
-            float(self.expected_windows(len(pairs[index][0])))
+            float(self.expected_work(len(pairs[index][0])))
             for index in self.schedule(pairs)
         ]
         return lockstep_stats(work, group)
@@ -537,13 +649,28 @@ class BatchAlignmentEngine:
         Each alignment's ``metadata`` always describes that pair alone
         (``align_batch`` instead snapshots the shared counter's running
         totals into per-alignment metadata, which this engine does not
-        replicate).
+        replicate), and always records ``vectorized`` / ``words_per_lane``
+        so a scalar fallback is observable.
         """
         if not self.vectorizable:
+            if not self._fallback_warned:
+                self._fallback_warned = True
+                warnings.warn(
+                    f"BatchAlignmentEngine({self.name!r}): config with "
+                    f"word_bits={self.config.word_bits} does not fit the "
+                    "uint64 lane layout; falling back to the scalar "
+                    "per-pair aligner for every batch",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             from repro.core.aligner import GenASMAligner
 
             aligner = GenASMAligner(self.config, name=self.name)
-            return [aligner.align(p, t, counter=counter) for p, t in pairs]
+            alignments = [aligner.align(p, t, counter=counter) for p, t in pairs]
+            for alignment in alignments:
+                alignment.metadata["vectorized"] = False
+                alignment.metadata["words_per_lane"] = self.words_per_lane
+            return alignments
 
         pairs = list(pairs)
         out: List[Optional[Alignment]] = [None] * len(pairs)
@@ -615,6 +742,8 @@ class BatchAlignmentEngine:
                 "dp_bytes": s.counter.total_bytes,
                 "model_window_bytes": model_bytes,
                 "traceback_path": s.traceback_path(),
+                "vectorized": True,
+                "words_per_lane": self.words_per_lane,
             }
             alignments.append(
                 Alignment(

@@ -2,16 +2,27 @@
 
 The vectorized batch engine evaluates many window pairs *in lockstep*: at
 DP step ``(d, j)`` every lane (one lane = one window pair) performs the same
-bitvector operation on its own 64-bit word.  This module owns the lane
+bitvector operation on its own machine words.  This module owns the lane
 layout — the transposition from a list of per-window Python objects into
-NumPy ``uint64`` arrays indexed ``[lane]`` or ``[lane, column]`` — so the
-engine's hot loop touches only contiguous arrays.
+NumPy ``uint64`` arrays indexed ``[word, lane]`` or ``[word, lane, column]``
+— so the engine's hot loop touches only contiguous arrays.
+
+A lane is **multi-word**: a window of ``m`` pattern characters occupies
+``W = ceil(m / 64)`` ``uint64`` words, with word 0 holding logical bits
+0..63 (the least-significant part of the pattern, matching
+:mod:`repro.core.bitvector`'s word-array convention).  Every wave-wide
+array therefore carries a leading word axis of length
+:attr:`SoAWave.words` — the maximum word count over the wave's lanes —
+and the DC recurrence propagates the shifted bit across words (see
+:func:`repro.batch.engine.run_dc_wave_state`).  ``W == 1`` reproduces the
+original single-word layout exactly.
 
 The same layout is what a GPU implementation would use: one warp lane per
-window pair, pattern masks staged in shared memory, per-lane band offsets
-in registers.  :func:`lockstep_stats` quantifies the cost of that lockstep
-execution (lanes in a group wait for the slowest member), which
-:class:`repro.gpu.simulator.GpuSimulator` uses to model warp divergence.
+window pair (W words per lane in registers), pattern masks staged in shared
+memory, per-lane band offsets in registers.  :func:`lockstep_stats`
+quantifies the cost of that lockstep execution (lanes in a group wait for
+the slowest member), which :class:`repro.gpu.simulator.GpuSimulator` uses
+to model warp divergence.
 """
 
 from __future__ import annotations
@@ -24,33 +35,46 @@ import numpy as np
 from repro.core.bitvector import pattern_bitmasks_zero_match
 from repro.core.metrics import AccessCounter
 
-__all__ = ["LaneJob", "SoAWave", "lockstep_stats"]
+__all__ = ["LaneJob", "SoAWave", "lockstep_stats", "lane_words"]
 
-#: Widest pattern window a single uint64 lane can hold.
+#: Bits per lane word (one ``uint64`` per word of a lane).
 MAX_LANE_BITS = 64
 
+#: ``_LOW_ONES[c]`` has the ``c`` low bits set (``c`` in 0..64); the
+#: shift-free way to build width masks per word, since ``uint64 << 64`` is
+#: undefined in NumPy.
+_LOW_ONES = np.array([(1 << c) - 1 for c in range(MAX_LANE_BITS + 1)], dtype=np.uint64)
+_U0 = np.uint64(0)
 
-def _all_ones_u64(width: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`repro.core.bitvector.all_ones` for widths 1..64.
 
-    ``(1 << (w - 1)) - 1) * 2 + 1`` avoids the ``1 << 64`` overflow at full
-    width.  The differential tests pin this (and the other vectorized
-    re-derivations below) to the scalar helpers in
-    :mod:`repro.core.improvements`.
+def lane_words(pattern_bits: int) -> int:
+    """Number of ``uint64`` words a lane of ``pattern_bits`` bits occupies."""
+    return max(1, -(-max(pattern_bits, 1) // MAX_LANE_BITS))
+
+
+def _per_word_ones(m: np.ndarray, words: int) -> np.ndarray:
+    """All-ones words for per-lane bit widths ``m``: shape ``(words, L)``.
+
+    Word ``w`` of lane ``i`` has its low ``clamp(m[i] - 64 w, 0, 64)`` bits
+    set — the multi-word generalisation of
+    :func:`repro.core.bitvector.all_ones`.  The differential tests pin this
+    (and the other vectorized re-derivations below) to the scalar helpers
+    in :mod:`repro.core.improvements`.
     """
-    return (
-        ((np.uint64(1) << (width - 1).astype(np.uint64)) - np.uint64(1)) * np.uint64(2)
-    ) + np.uint64(1)
+    word_base = (np.arange(words, dtype=np.int64) * MAX_LANE_BITS)[:, None]
+    width = np.clip(m[None, :] - word_base, 0, MAX_LANE_BITS)
+    return _LOW_ONES[width]
 
 
 @dataclass
 class LaneJob:
-    """One window pair occupying one lane of a wave.
+    """One window pair occupying one (possibly multi-word) lane of a wave.
 
     ``pattern`` and ``text`` are the *reversed* window sequences (the same
     anchoring trick :mod:`repro.core.windowing` uses), ``max_errors`` the
     clamped per-lane error budget, and ``store_from`` the first text column
-    whose entries are persisted (traceback-reachability pruning).
+    whose entries are persisted (traceback-reachability pruning).  Patterns
+    wider than 64 characters simply occupy more words per lane.
     """
 
     pattern: str
@@ -60,11 +84,8 @@ class LaneJob:
     counter: AccessCounter = field(default_factory=AccessCounter)
 
     def __post_init__(self) -> None:
-        if not (1 <= len(self.pattern) <= MAX_LANE_BITS):
-            raise ValueError(
-                f"lane pattern must be 1..{MAX_LANE_BITS} characters, "
-                f"got {len(self.pattern)}"
-            )
+        if len(self.pattern) == 0:
+            raise ValueError("lane pattern must be non-empty")
         if len(self.text) == 0:
             raise ValueError("lane text must be non-empty (empty windows are handled scalar-side)")
 
@@ -72,24 +93,34 @@ class LaneJob:
 class SoAWave:
     """SoA arrays for one wave of lanes, ready for the lockstep DP.
 
-    Attributes (``L`` lanes, ``n_max`` = longest lane text):
+    Attributes (``L`` lanes, ``W`` words/lane, ``n_max`` = longest lane text):
 
+    ``words``
+        ``W = max(ceil(m / 64))`` over the wave's lanes — every lane's
+        bitvectors are carried in this many ``uint64`` words.
     ``m``, ``n``, ``k``
         int64 ``(L,)`` — pattern length, text length, error budget.
     ``ones``
-        uint64 ``(L,)`` — per-lane all-ones bitvector (``2^m − 1``).
+        uint64 ``(W, L)`` — per-lane all-ones bitvector, word-sliced.
     ``masks``
-        uint64 ``(L, n_max)`` — GenASM zero-match pattern mask for each
+        uint64 ``(W, L, n_max)`` — GenASM zero-match pattern mask for each
         lane's text character; columns beyond a lane's text are padded with
         that lane's ``ones`` (never consumed).
+    ``msb_word``, ``msb_shift``
+        int64 / uint64 ``(L,)`` — word index and in-word shift of each
+        lane's most significant pattern bit (``m - 1``), for the
+        solution-found test.
     ``band_lo``
-        uint64 ``(L, n_max + 1)`` — band offset per column (all zeros when
-        the band improvement is off).  Clamped to 63 for the padded columns
-        so shifts stay defined; valid columns are never clamped.
-    ``band_mask``
-        uint64 ``(L,)`` — mask selecting the stored band bits.
+        int64 ``(L, n_max + 1)`` — *logical* band offset per column (all
+        zeros when the band improvement is off), clamped to ``[0, m - 1]``.
+        Unlike the stored-row layout of the scalar path, wave rows are kept
+        full-width; banding is applied lazily via :meth:`zero_view_mask`
+        and :meth:`repro.batch.engine.WaveDCState.table`.
+    ``band_width``
+        int64 ``(L,)`` — stored band width ``min(m, 2k + 2)`` per lane.
     ``store_from``, ``entry_store``
-        int64 ``(L,)`` — first persisted column and bytes per stored entry.
+        int64 ``(L,)`` — first persisted column and bytes per stored entry
+        (multi-word entries store ``ceil(width / unit)`` units).
     """
 
     def __init__(
@@ -111,8 +142,12 @@ class SoAWave:
         )
         self.n_max = int(self.n.max())
         self.k_max = int(self.k.max())
-        self.ones = _all_ones_u64(self.m)  # m >= 1 per LaneJob
+        self.words = lane_words(int(self.m.max()))
+        self.ones = _per_word_ones(self.m, self.words)  # m >= 1 per LaneJob
+        self.msb_word = (self.m - 1) // MAX_LANE_BITS
+        self.msb_shift = ((self.m - 1) % MAX_LANE_BITS).astype(np.uint64)
         self.masks = self._build_masks()
+        self._zero_view_mask: Optional[np.ndarray] = None
 
         if traceback_band:
             self.store_from = np.array(
@@ -125,33 +160,61 @@ class SoAWave:
         cols = np.arange(self.n_max + 1, dtype=np.int64)
         if traceback_band:
             lo = (self.m[:, None] - 1) - (self.n[:, None] - cols[None, :]) - self.k[:, None]
-            lo = np.clip(lo, 0, MAX_LANE_BITS - 1)
-            self.band_lo = lo.astype(np.uint64)
+            self.band_lo = np.clip(lo, 0, np.maximum(self.m - 1, 0)[:, None])
         else:
-            self.band_lo = np.zeros((L, self.n_max + 1), dtype=np.uint64)
+            self.band_lo = np.zeros((L, self.n_max + 1), dtype=np.int64)
         # band_width(m, k), vectorized; never zero because m >= 1.
-        width = np.minimum(self.m, 2 * self.k + 2)
-        self.band_mask = _all_ones_u64(width)
+        self.band_width = np.minimum(self.m, 2 * self.k + 2)
         #: columns that are persisted per lane (inside the lane's text and
         #: at/after its store_from column)
         self.store_col = (cols[None, :] >= self.store_from[:, None]) & (
             cols[None, :] <= self.n[:, None]
         )
         # entry_bytes, vectorized: full words without the band improvement,
-        # else the smallest power-of-two unit (8..word_bits bits) covering
-        # the band width.
+        # else the smallest power-of-two unit (8..word_bits bits), taken
+        # ceil(width / unit) times when the band is wider than a word.
         if not traceback_band:
-            words = np.maximum(1, -(-self.m // word_bits))
-            self.entry_store = (words * (word_bits // 8)).astype(np.int64)
+            full_words = np.maximum(1, -(-self.m // word_bits))
+            self.entry_store = (full_words * (word_bits // 8)).astype(np.int64)
         else:
-            target = np.minimum(width, word_bits)
+            target = np.minimum(self.band_width, word_bits)
             unit = np.full(L, 8, dtype=np.int64)
             while (unit < target).any():  # 8 -> 16 -> ... -> word_bits
                 unit = np.where(unit < target, unit * 2, unit)
             unit = np.minimum(unit, word_bits)
-            self.entry_store = ((unit // 8) * np.maximum(1, -(-width // unit))).astype(
-                np.int64
-            )
+            self.entry_store = (
+                (unit // 8) * np.maximum(1, -(-self.band_width // unit))
+            ).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    def zero_view_mask(self) -> np.ndarray:
+        """Word mask of bits that may read as *active* through the scalar accessors.
+
+        Shape ``(W, L, n_max + 1)``.  Bit ``b`` of word ``w`` is set iff the
+        scalar band-aware accessors (:meth:`repro.core.genasm_dc.DCTable.r_bit`
+        / ``quad_bit``) could report logical bit ``64 w + b`` of that
+        (lane, column) entry as zero-active: the bit lies inside the lane's
+        pattern, the column is persisted (``store_col``), and — with the
+        band improvement — the bit falls inside the stored band
+        ``[band_lo, band_lo + band_width)``.  The decision-plane builder
+        ANDs this into its zero views, which is what lets wave rows stay
+        full-width (no store-time band packing) while remaining
+        bit-identical to the scalar packed storage.
+        """
+        if self._zero_view_mask is None:
+            mask = np.where(self.store_col[None, :, :], self.ones[:, :, None], _U0)
+            if self.traceback_band:
+                word_base = (np.arange(self.words, dtype=np.int64) * MAX_LANE_BITS)[
+                    :, None, None
+                ]
+                lo = self.band_lo[None, :, :]
+                hi = lo + self.band_width[:, None][None, :, :]
+                window = _LOW_ONES[np.clip(hi - word_base, 0, MAX_LANE_BITS)] & ~_LOW_ONES[
+                    np.clip(lo - word_base, 0, MAX_LANE_BITS)
+                ]
+                mask &= window
+            self._zero_view_mask = mask
+        return self._zero_view_mask
 
     # ------------------------------------------------------------------ #
     def _build_masks(self) -> np.ndarray:
@@ -161,12 +224,16 @@ class SoAWave:
         character, but computed as one boolean character-equality tensor
         packed into ``uint64`` words (``np.packbits``), so wave setup stays
         O(array ops) instead of O(lanes × window) Python-dict lookups.
-        Falls back to the per-lane scalar path for non-Latin-1 sequences.
+        Returns ``(W, L, n_max)``; word ``w`` holds pattern bits
+        ``64 w .. 64 w + 63``.  Falls back to the per-lane scalar path for
+        non-Latin-1 sequences.
         """
         L = self.lanes
+        W = self.words
+        pad = W * MAX_LANE_BITS
         try:
             pattern_buffer = b"".join(
-                job.pattern.encode("latin-1").ljust(MAX_LANE_BITS, b"\x00")
+                job.pattern.encode("latin-1").ljust(pad, b"\x00")
                 for job in self.jobs
             )
             text_buffer = b"".join(
@@ -174,18 +241,22 @@ class SoAWave:
                 for job in self.jobs
             )
         except UnicodeEncodeError:
-            masks = np.empty((L, self.n_max), dtype=np.uint64)
+            masks = np.empty((W, L, self.n_max), dtype=np.uint64)
+            word_mask = int(_LOW_ONES[MAX_LANE_BITS])
             for i, job in enumerate(self.jobs):
                 pm = pattern_bitmasks_zero_match(job.pattern)
-                lane_ones = int(self.ones[i])
+                lane_ones = sum(
+                    int(self.ones[w, i]) << (MAX_LANE_BITS * w) for w in range(W)
+                )
                 row = [pm.get(c, lane_ones) for c in job.text]
                 row.extend([lane_ones] * (self.n_max - len(row)))
-                masks[i, :] = row
+                for w in range(W):
+                    masks[w, i, :] = [
+                        (value >> (MAX_LANE_BITS * w)) & word_mask for value in row
+                    ]
             return masks
 
-        patterns = np.frombuffer(pattern_buffer, dtype=np.uint8).reshape(
-            L, MAX_LANE_BITS
-        )
+        patterns = np.frombuffer(pattern_buffer, dtype=np.uint8).reshape(L, pad)
         texts = np.frombuffer(text_buffer, dtype=np.uint8).reshape(L, self.n_max)
         # match[lane, j, i]: does pattern bit i match text character j?
         # (NUL padding never equals a real sequence character, and bits at
@@ -196,12 +267,13 @@ class SoAWave:
         # uint64 view on little-endian hosts.
         match_words = (
             np.ascontiguousarray(np.packbits(match, axis=2, bitorder="little"))
-            .view("<u8")[:, :, 0]
+            .view("<u8")
             .astype(np.uint64)
         )
+        match_words = np.moveaxis(match_words, 2, 0)  # (W, L, n_max)
         # Zero-active semantics: bit i is 0 iff the characters match;
         # padded columns read as "matches nowhere" (the lane's ones).
-        return self.ones[:, None] & ~match_words
+        return self.ones[:, :, None] & ~match_words
 
 
 def lockstep_stats(work: Sequence[float], group_size: int) -> Dict[str, float]:

@@ -9,15 +9,20 @@ DC kernel.  This module removes that scalar hot path in two moves:
 
 1. **Decision words** (:func:`build_wave_decisions`): for every lane, error
    level ``d`` and text column ``j``, the four predicates are evaluated for
-   *all* pattern bits ``i`` at once and packed into one ``uint64`` word per
-   (operation, d, j) — bit ``i`` of ``cm[d, lane, j]`` is set iff a match
-   step is legal at ``(j, d, i)``.  The words are derived directly from the
-   SoA-packed rows the DC wave stored (band-packed or full-width, single-R
-   or quad storage), so they encode exactly the decisions the scalar
-   predicates would take over the same stored state.
+   *all* pattern bits ``i`` at once and packed into ``W`` ``uint64`` words
+   per (operation, d, j) — bit ``i % 64`` of word ``i // 64`` of
+   ``cm[d, ·, lane, j]`` is set iff a match step is legal at ``(j, d, i)``.
+   The words are derived from the full-width rows the DC wave stored,
+   masked through :meth:`repro.batch.soa.SoAWave.zero_view_mask` so they
+   encode exactly the decisions the scalar predicates would take over the
+   scalar path's band-packed, reachability-pruned storage.  Each plane's
+   ``<< 1`` is a multi-word shift: bit 63 of word ``w`` carries into bit 0
+   of word ``w + 1``, which is precisely the cross-word predicate stitched
+   at pattern bits ``i`` with ``i % 64 == 0``.
 2. **Lockstep walk** (:func:`lockstep_traceback`): all live lanes advance
    their traceback cursor ``(j, d, i)`` together, one NumPy step per CIGAR
-   column; a lane that exhausts its pattern budget drops out of the active
+   column — each step gathers the word ``i // 64`` of each lane's planes —
+   and a lane that exhausts its pattern budget drops out of the active
    mask, mirroring the warp model of
    :func:`repro.batch.soa.lockstep_stats`.
 
@@ -29,7 +34,9 @@ accounting: ``tb_steps`` is charged per emitted operation, and ``dp_reads``
 priority loop (a condition evaluated but false still paid its read; a
 ``bit < 0`` probe or a ``d < 1`` guard never reached the stored table).
 The differential test harness (``tests/test_batch_traceback.py``) asserts
-this per-field across every improvement-toggle combination.
+this per-field across every improvement-toggle combination and across
+window widths spanning 1-3 words per lane; the cross-word carry itself is
+property-tested against the scalar predicates in ``tests/test_properties.py``.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.batch.soa import SoAWave
+from repro.batch.soa import MAX_LANE_BITS, SoAWave
 from repro.core.cigar import CigarOp
 from repro.core.genasm_tb import TracebackError
 
@@ -52,6 +59,7 @@ __all__ = [
 ]
 
 _U1 = np.uint64(1)
+_U63 = np.uint64(MAX_LANE_BITS - 1)
 
 #: Fixed op codes used in the packed opcode buffer (independent of priority).
 _CODE_BY_LETTER = {"M": 0, "S": 1, "I": 2, "D": 3}
@@ -66,20 +74,21 @@ class WaveDecisions:
     """Packed decision words for every lane of one wave.
 
     ``cm``/``cs``/``ci``/``cd`` are ``uint64`` arrays of shape
-    ``(rows, lanes, n_max + 1)``; bit ``i`` of ``cX[d, lane, j]`` says the
-    corresponding operation (match / substitution / insertion / deletion)
-    is a legal traceback step at ``(j, d, i)`` for that lane.  ``char_eq``
-    (``(lanes, n_max + 1)``) has bit ``i`` set iff ``pattern[i]`` equals
-    ``text[j - 1]``; the walk uses it to replicate the scalar read
-    accounting (the match predicate only touches the stored table when the
-    characters actually match).  Column 0 of every plane is unused — the
-    walk handles ``j == 0`` as the unconditional-insertion branch, exactly
-    like the scalar loop.
+    ``(rows, W, lanes, n_max + 1)`` (``W`` = words per lane); bit ``i % 64``
+    of word ``i // 64`` of ``cX[d, ·, lane, j]`` says the corresponding
+    operation (match / substitution / insertion / deletion) is a legal
+    traceback step at ``(j, d, i)`` for that lane.  ``char_eq``
+    (``(W, lanes, n_max + 1)``) has pattern bit ``i`` set iff
+    ``pattern[i]`` equals ``text[j - 1]``; the walk uses it to replicate
+    the scalar read accounting (the match predicate only touches the stored
+    table when the characters actually match).  Column 0 of every plane is
+    unused — the walk handles ``j == 0`` as the unconditional-insertion
+    branch, exactly like the scalar loop.
     """
 
-    #: one (rows, lanes, n_max + 1) uint64 plane per operation, stacked in
-    #: the fixed M, S, I, D order of :data:`OPS_BY_CODE` — ``cm`` etc. are
-    #: views into this single allocation
+    #: one (rows, W, lanes, n_max + 1) uint64 plane per operation, stacked
+    #: in the fixed M, S, I, D order of :data:`OPS_BY_CODE` — ``cm`` etc.
+    #: are views into this single allocation
     planes: np.ndarray
     char_eq: np.ndarray
     compressed: bool
@@ -87,6 +96,10 @@ class WaveDecisions:
     @property
     def rows(self) -> int:
         return self.planes.shape[1]
+
+    @property
+    def words(self) -> int:
+        return self.planes.shape[2]
 
     @property
     def cm(self) -> np.ndarray:
@@ -110,20 +123,25 @@ class WaveDecisions:
 
     def bit(self, letter: str, lane: int, d: int, j: int, i: int) -> bool:
         """Scalar probe of one decision bit (used by the differential tests)."""
-        word = int(self.plane(letter)[d, lane, j])
-        return bool((word >> i) & 1)
+        word = int(
+            self.plane(letter)[d, i // MAX_LANE_BITS, lane, j]
+        )
+        return bool((word >> (i % MAX_LANE_BITS)) & 1)
 
 
-def _zero_words(stored: np.ndarray, wave: SoAWave, band_lo: np.ndarray) -> np.ndarray:
-    """Word-per-column "bit is zero (active)" view of stored bitvectors.
+def _shl1_or1(zero: np.ndarray) -> np.ndarray:
+    """Multi-word ``(zero << 1) | 1`` with cross-word carry.
 
-    Bit ``b`` of the result is set iff logical bit ``b`` of the stored
-    value reads as zero through the band-aware accessors; bits outside the
-    stored band read as one (inactive) there, hence stay clear here.
+    The "bit ``i - 1``, with bit ``-1`` always active" indexing of the
+    compressed-storage predicates: logical bit 63 of word ``w`` carries
+    into bit 0 of word ``w + 1`` (the ``i % 64 == 0`` stitch), and bit 0
+    of word 0 is forced on (a ``bit < 0`` probe is always active).
     """
-    if wave.traceback_band:
-        return ((~stored) & wave.band_mask[:, None]) << band_lo
-    return ~stored
+    out = zero << _U1
+    if out.shape[0] > 1:
+        out[1:] |= zero[:-1] >> _U63
+    out[0] |= _U1
+    return out
 
 
 def build_wave_decisions(
@@ -134,49 +152,58 @@ def build_wave_decisions(
 ) -> WaveDecisions:
     """Precompute the lockstep decision words for one DC wave.
 
-    ``stored_rows`` is the per-row storage exactly as the DC wave persisted
-    it: with entry compression one ``(lanes, n_max + 1)`` array of (possibly
-    band-packed) ``R`` values per row, otherwise a 4-tuple of
-    ``(lanes, n_max)`` arrays holding the match/subst/ins/del intermediates
-    for columns ``1..n``.  Callers whose walk only starts from error levels
-    below ``len(stored_rows)`` may pass a row-sliced prefix.  The returned
-    planes reproduce, for every ``(d, j, i)``, the verdicts of
-    :func:`repro.core.genasm_tb.traceback_conditions` over the same state.
+    ``stored_rows`` is the per-row storage exactly as the DC wave kept it:
+    with entry compression one full-width ``(W, lanes, n_max + 1)`` array
+    of ``R`` values per row, otherwise a 4-tuple of ``(W, lanes, n_max)``
+    arrays holding the match/subst/ins/del intermediates for columns
+    ``1..n``.  Callers whose walk only starts from error levels below
+    ``len(stored_rows)`` may pass a row-sliced prefix.  Band packing and
+    reachability pruning are imposed here via
+    :meth:`~repro.batch.soa.SoAWave.zero_view_mask`, so the returned planes
+    reproduce, for every ``(d, j, i)``, the verdicts of
+    :func:`repro.core.genasm_tb.traceback_conditions` over the scalar
+    path's stored state.
     """
     L = wave.lanes
+    W = wave.words
     cols = wave.n_max + 1
     rows = len(stored_rows)
-    planes = np.zeros((4, rows, L, cols), dtype=np.uint64)
+    planes = np.zeros((4, rows, W, L, cols), dtype=np.uint64)
     cm, cs, ci, cd = planes
 
-    char_eq = np.zeros((L, cols), dtype=np.uint64)
-    char_eq[:, 1:] = (~wave.masks) & wave.ones[:, None]
+    char_eq = np.zeros((W, L, cols), dtype=np.uint64)
+    char_eq[:, :, 1:] = (~wave.masks) & wave.ones[:, :, None]
+
+    # Bits the scalar accessors could ever report as active: inside the
+    # lane's pattern, a persisted column, and (with banding) the stored
+    # band window.
+    active = wave.zero_view_mask()
 
     if entry_compression:
         # One stored R word per entry; the four conditions re-derive their
         # verdicts from neighbouring R entries, shifted so bit i of the
         # plane asks about bit i-1 of R (with bit -1 always active).
-        zero = [_zero_words(stored_rows[d], wave, wave.band_lo) for d in range(rows)]
+        zero = [(~stored_rows[d]) & active for d in range(rows)]
         for d in range(rows):
             z_d = zero[d]
-            cm[d, :, 1:] = char_eq[:, 1:] & (((z_d[:, :-1]) << _U1) | _U1)
+            cm[d, :, :, 1:] = char_eq[:, :, 1:] & _shl1_or1(z_d[:, :, :-1])
             if d >= 1:
                 z_prev = zero[d - 1]
-                cs[d, :, 1:] = ((z_prev[:, :-1]) << _U1) | _U1
-                ci[d, :, 1:] = ((z_prev[:, 1:]) << _U1) | _U1
-                cd[d, :, 1:] = z_prev[:, :-1]
+                cs[d, :, :, 1:] = _shl1_or1(z_prev[:, :, :-1])
+                ci[d, :, :, 1:] = _shl1_or1(z_prev[:, :, 1:])
+                cd[d, :, :, 1:] = z_prev[:, :, :-1]
     else:
         # Quad storage keeps the four already-shifted intermediates of row
         # d at column j, so each plane is a direct zero-bit view of one
         # stored vector.  Row 0 has no subst/ins/del steps (d < 1).
-        lo_q = wave.band_lo[:, 1:]
+        active_q = active[:, :, 1:]
         for d in range(rows):
             match_row, subst_row, ins_row, del_row = stored_rows[d]
-            cm[d, :, 1:] = _zero_words(match_row, wave, lo_q)
+            cm[d, :, :, 1:] = (~match_row) & active_q
             if d >= 1:
-                cs[d, :, 1:] = _zero_words(subst_row, wave, lo_q)
-                ci[d, :, 1:] = _zero_words(ins_row, wave, lo_q)
-                cd[d, :, 1:] = _zero_words(del_row, wave, lo_q)
+                cs[d, :, :, 1:] = (~subst_row) & active_q
+                ci[d, :, :, 1:] = (~ins_row) & active_q
+                cd[d, :, :, 1:] = (~del_row) & active_q
 
     return WaveDecisions(planes=planes, char_eq=char_eq, compressed=entry_compression)
 
@@ -316,7 +343,10 @@ def lockstep_traceback(
     # Flat-index views of the planes (no copies).  Plane p (fixed M,S,I,D
     # storage order) contributes key weight 8 >> its-position-in-priority,
     # so `key` packs the condition bits in priority order for the LUTs.
-    cols = decisions.char_eq.shape[1]
+    # A lane's cursor bit i selects word i // 64 of its plane entries (the
+    # multi-word lane layout); for single-word waves the word index is
+    # constant zero.
+    cols = decisions.char_eq.shape[-1]
     planes_flat = decisions.planes.reshape(4, -1)
     char_flat = decisions.char_eq.reshape(-1)
     weights = np.array(
@@ -324,7 +354,8 @@ def lockstep_traceback(
     )[:, None]
     lanes = np.arange(L)
     lane_cols = lanes * cols
-    plane_stride = L * cols
+    word_stride = L * cols
+    plane_stride = decisions.words * word_stride
     step = 0
 
     while live.any():
@@ -335,12 +366,15 @@ def lockstep_traceback(
         # overridden below) and finished lanes read a harmless word.
         jq = np.maximum(j, 1)
         dq = np.maximum(d, 0)
-        shift = np.maximum(i, 0).astype(np.uint64)
+        bit = np.maximum(i, 0)
+        wq = bit >> 6
+        shift = (bit & 63).astype(np.uint64)
 
-        flat = dq * plane_stride + lane_cols + jq
+        word_at = wq * word_stride + lane_cols + jq
+        flat = dq * plane_stride + word_at
         words = planes_flat[:, flat]  # (4, L) condition words
         bits = (words >> shift) & _U1
-        char_bit = (char_flat[lane_cols + jq] >> shift) & _U1
+        char_bit = (char_flat[word_at] >> shift) & _U1
         key = (bits * weights).sum(axis=0)
 
         at0 = j == 0

@@ -10,6 +10,7 @@ from repro.harness.experiments import (
     run_gpu_speed_experiment,
     run_memory_access_experiment,
     run_memory_footprint_experiment,
+    run_short_read_throughput_experiment,
     run_streaming_throughput_experiment,
 )
 from repro.harness.report import format_table, generate_experiments_markdown
@@ -21,6 +22,7 @@ __all__ = [
     "run_cpu_speed_experiment",
     "run_batched_throughput_experiment",
     "run_streaming_throughput_experiment",
+    "run_short_read_throughput_experiment",
     "run_gpu_speed_experiment",
     "run_memory_footprint_experiment",
     "run_memory_access_experiment",

@@ -8,7 +8,11 @@ the engine on exactly that wave — unlike the historical ``process`` backend
 of :class:`repro.parallel.executor.BatchExecutor`, which shipped individual
 pairs and rebuilt a scalar aligner per worker, workers here execute whole
 lockstep waves, so the vectorized path and multiprocessing compose instead
-of competing.
+of competing.  Short-read (``window_size > 64``) configurations dispatch
+the same way: the engine's multi-word lanes mean no per-wave scalar
+fallback, and the accumulator feeding this stage groups lanes by the
+engine's windows × words/lane cost model
+(:meth:`repro.batch.BatchAlignmentEngine.expected_work`).
 
 Results are collected in wave submission order behind a bounded in-flight
 window; the pipeline's reorder buffer (keyed by global candidate ordinal)

@@ -8,9 +8,10 @@ implements the PR-2 sorted-scheduling policy incrementally:
 * items buffer up to ``max_pending`` (the backpressure bound);
 * when the buffer hits the bound, complete ``wave_size`` waves are cut
   from the pending pool *in expected-work order* (stable sort by the
-  ``work_key``, the same ``expected_windows`` quantity
-  :meth:`repro.batch.BatchAlignmentEngine.schedule` sorts by), so each
-  dispatched wave runs lanes of similar lifetime in lockstep;
+  ``work_key``, the same windows × words/lane quantity
+  (:meth:`repro.batch.BatchAlignmentEngine.expected_work`) the engine's
+  own :meth:`~repro.batch.BatchAlignmentEngine.schedule` sorts by), so
+  each dispatched wave runs lanes of similar lifetime in lockstep;
 * a ``linger_seconds`` timeout flushes everything pending (including a
   partial trailing wave) once the oldest buffered item has waited too
   long — the latency escape hatch for sparse streams;

@@ -150,7 +150,9 @@ class StreamingPipeline:
 
     def _build_accumulator(self, stats: PipelineStats, align: AlignStage) -> WaveAccumulator:
         # The sorted policy groups lanes by the same expected-work model the
-        # engine's own scheduler sorts by; reuse the align stage's in-process
+        # engine's own scheduler sorts by — window count × words per lane,
+        # so wide-window (short-read) configs group narrow fragments away
+        # from full multi-word lanes; reuse the align stage's in-process
         # engine rather than building one just for the estimate.
         engine = align.engine
         return WaveAccumulator(
@@ -158,7 +160,7 @@ class StreamingPipeline:
             max_pending=self.max_pending,
             linger_seconds=self.linger_seconds,
             scheduling=self.scheduling,
-            work_key=lambda work: float(engine.expected_windows(len(work.pattern))),
+            work_key=lambda work: float(engine.expected_work(len(work.pattern))),
             stats=stats,
         )
 

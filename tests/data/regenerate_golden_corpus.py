@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regenerate the short-read section of ``golden_corpus.json``.
+
+The long-read ``entries`` section (default ``GenASMConfig``, simulated
+600 bp reads plus adversarial extras) is preserved verbatim from the
+checked-in file — it pins PR-2 behaviour and must never drift.  This
+script (re)builds the ``short_read_entries`` section: Illumina-length
+pairs aligned with the scalar reference under
+``GenASMConfig.short_read(150)``, whose 150-character windows occupy
+three ``uint64`` words per lane in the vectorized engine.  The pair set
+deliberately straddles the 64-bit word boundaries (64/65/128/129 bp) and
+includes multi-window, all-match and budget-doubling adversarial shapes.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/regenerate_golden_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from repro.core.aligner import GenASMAligner
+from repro.core.config import GenASMConfig
+from tests.conftest import mutate, random_dna
+
+CORPUS_PATH = pathlib.Path(__file__).parent / "golden_corpus.json"
+SHORT_READ_LENGTH = 150
+SEED = 150
+
+
+def short_read_pairs():
+    """Deterministic short-read (pattern, text) pairs, word-boundary heavy."""
+    rng = random.Random(SEED)
+    pairs = []
+    # Mutated-copy reads across word counts 1, 2 and 3 per lane.
+    for length, edits in [
+        (150, 7),   # 3 words, nominal Illumina read
+        (150, 0),   # 3 words, error-free
+        (149, 5),   # 3 words, one under the window
+        (151, 6),   # 3 words + a second window
+        (128, 6),   # exactly 2 words
+        (129, 4),   # first bit of word 2
+        (64, 3),    # exactly 1 word
+        (65, 3),    # first bit of word 1
+        (63, 2),    # 1 word, one under the boundary
+        (40, 1),    # short fragment
+        (300, 15),  # 2 windows of 150
+    ]:
+        pattern = random_dna(rng, length)
+        pairs.append((pattern, mutate(rng, pattern, edits) + random_dna(rng, 6)))
+    # Adversarial shapes: pure match run, heavy-error budget doubling,
+    # homopolymer (every tie-break live), text exhausted mid-read.
+    pairs.append(("ACGT" * 37 + "AC", "ACGT" * 37 + "ACACGT"))
+    pairs.append(("A" * 150, "T" * 50))
+    pairs.append(("A" * 130, "A" * 124))
+    pairs.append(("ACGT" * 50, "ACGTACGT"))
+    return pairs
+
+
+def main() -> None:
+    with open(CORPUS_PATH) as fh:
+        corpus = json.load(fh)
+
+    config = GenASMConfig.short_read(SHORT_READ_LENGTH)
+    aligner = GenASMAligner(config)
+    entries = []
+    for pattern, text in short_read_pairs():
+        alignment = aligner.align(pattern, text)
+        entries.append(
+            {
+                "pattern": pattern,
+                "text": text,
+                "cigar": str(alignment.cigar),
+                "edit_distance": alignment.edit_distance,
+                "text_end": alignment.text_end,
+            }
+        )
+
+    corpus["short_read_description"] = (
+        "Short-read golden corpus: scalar GenASM reference alignments of "
+        f"deterministic Illumina-length pairs (seed={SEED}, word-boundary "
+        "lengths 40..300) under GenASMConfig.short_read(150) — the "
+        "3-words-per-lane configuration of the multi-word vectorized engine."
+    )
+    corpus["short_read_config"] = f"short_read({SHORT_READ_LENGTH})"
+    corpus["short_read_entries"] = entries
+
+    with open(CORPUS_PATH, "w") as fh:
+        json.dump(corpus, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {len(entries)} short-read entries to {CORPUS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ scalar path on the simulated-read corpus, and a 2-worker
 from __future__ import annotations
 
 import itertools
+import warnings
 
 import pytest
 
@@ -107,15 +108,49 @@ class TestVectorizedEquivalence:
         align_pairs_vectorized(pairs, config, counter=batch_counter)
         assert batch_counter.as_dict() == scalar_counter.as_dict()
 
-    def test_wide_window_config_falls_back_to_scalar(self, rng):
+    def test_wide_window_config_vectorizes_multi_word(self, rng):
+        # Pre-PR the short-read config silently fell back to the scalar
+        # aligner; now it takes the multi-word lockstep path (3 uint64
+        # words per 150-character lane) and must still be byte-identical.
         config = GenASMConfig.short_read(read_length=150)
         engine = BatchAlignmentEngine(config)
-        assert not engine.vectorizable
-        pairs = _random_pairs(rng, [(150, 4), (150, 2)])
+        assert engine.vectorizable
+        assert engine.words_per_lane == 3
+        pairs = _random_pairs(rng, [(150, 4), (150, 2), (40, 1)])
         _assert_identical(
             [GenASMAligner(config).align(p, t) for p, t in pairs],
             engine.align_pairs(pairs),
         )
+        for alignment in engine.align_pairs(pairs):
+            assert alignment.metadata["vectorized"] is True
+            assert alignment.metadata["words_per_lane"] == 3
+
+    def test_word_bits_config_falls_back_with_one_warning(self, rng):
+        # The only remaining scalar fallback is word_bits != 64; it must be
+        # observable (metadata + a one-time RuntimeWarning per engine), and
+        # still produce the scalar path's exact results.
+        config = GenASMConfig(word_bits=32)
+        engine = BatchAlignmentEngine(config)
+        assert not engine.vectorizable
+        pairs = _random_pairs(rng, [(90, 6), (40, 2)])
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            batch = engine.align_pairs(pairs)
+        _assert_identical(
+            [GenASMAligner(config).align(p, t) for p, t in pairs], batch
+        )
+        for alignment in batch:
+            assert alignment.metadata["vectorized"] is False
+            assert alignment.metadata["words_per_lane"] == 1
+        # Second batch through the same engine: no further warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine.align_pairs(pairs)
+
+    def test_vectorized_metadata_recorded_on_vectorized_path(self, rng):
+        pairs = _random_pairs(rng, [(70, 5)])
+        for alignment in BatchAlignmentEngine(GenASMConfig()).align_pairs(pairs):
+            assert alignment.metadata["vectorized"] is True
+            assert alignment.metadata["words_per_lane"] == 1
 
     def test_max_lanes_chunking_preserves_results(self, rng):
         pairs = _random_pairs(rng, [(90, 8), (120, 10), (40, 3), (64, 6)])
@@ -133,7 +168,7 @@ class TestDCWave:
     def test_stored_state_matches_scalar(self, rng, entry_compression, traceback_band):
         jobs = []
         scalar_tables = []
-        for length, k in [(12, 3), (40, 7), (64, 9), (1, 1)]:
+        for length, k in [(12, 3), (40, 7), (64, 9), (1, 1), (65, 6), (100, 11), (150, 9)]:
             pattern = random_dna(rng, length)
             text = mutate(rng, pattern, max(1, length // 8)) + random_dna(rng, 4)
             store_from = 2 if traceback_band and length > 4 else 0
@@ -168,11 +203,15 @@ class TestDCWave:
         with pytest.raises(ValueError):
             LaneJob(pattern="", text="ACGT", max_errors=1)
         with pytest.raises(ValueError):
-            LaneJob(pattern="A" * 65, text="ACGT", max_errors=1)
-        with pytest.raises(ValueError):
             LaneJob(pattern="ACGT", text="", max_errors=1)
         with pytest.raises(ValueError):
             SoAWave([], traceback_band=True)
+        # Patterns wider than one word are valid multi-word lanes now.
+        wave = SoAWave(
+            [LaneJob(pattern="A" * 65, text="ACGT", max_errors=1)],
+            traceback_band=True,
+        )
+        assert wave.words == 2
 
 
 class TestDegenerateWindowing:

@@ -42,6 +42,20 @@ DATA_DIR = pathlib.Path(__file__).parent / "data"
 TOGGLE_COMBOS = list(itertools.product([False, True], repeat=3))
 #: A representative set of traceback tie-break orders (permutations of MSDI).
 PRIORITIES = ["MSDI", "MDIS", "DIMS", "ISDM"]
+#: Window widths spanning 1, 2 and 3 uint64 words per lane, including the
+#: exact single-word boundary (64) and the first multi-word width (65).
+WINDOW_SIZES = [32, 64, 65, 96, 128, 150]
+
+
+def window_config(window_size: int, **overrides) -> GenASMConfig:
+    """A window_size-parametrized config (short-read style above one word)."""
+    if window_size <= 64:
+        return GenASMConfig(
+            window_size=window_size,
+            window_overlap=min(24, window_size - 1),
+            **overrides,
+        )
+    return GenASMConfig.short_read(window_size, **overrides)
 
 
 def adversarial_pairs():
@@ -143,6 +157,124 @@ class TestDifferentialEquivalence:
             alignment.validate()
 
 
+def window_boundary_pairs(rng, window_size):
+    """Pairs that straddle the window width and the 64-bit word boundaries."""
+    specs = [
+        (window_size, max(2, window_size // 10)),
+        (max(1, window_size - 1), 2),
+        (window_size + 1, 3),
+        (2 * window_size + 10, max(4, window_size // 8)),
+        (40, 2),
+        (64, 4),
+        (65, 4),
+    ]
+    pairs = []
+    for length, edits in specs:
+        pattern = random_dna(rng, length)
+        pairs.append((pattern, mutate(rng, pattern, edits) + random_dna(rng, 6)))
+    # Adversarial shapes per window width: pure matches, budget doubling to
+    # the full window, homopolymer ties, text exhausted mid-alignment.
+    pairs.append(("ACGT" * (window_size // 2), "ACGT" * (window_size // 2) + "AC"))
+    pairs.append(("A" * window_size, "T" * max(1, window_size // 3)))
+    pairs.append(("A" * (window_size + 9), "A" * (window_size + 4)))
+    pairs.append(("ACGT" * window_size, "ACGTACGT"))
+    return pairs
+
+
+class TestMultiWordDifferential:
+    """Windows spanning 1-3 words/lane, pinned byte-identical to scalar.
+
+    The multi-word satellite of the PR-2 harness: the same per-field
+    equivalence contract (CIGARs, edit distances, spans, metadata, every
+    AccessCounter field), parametrized over ``window_size`` so word counts
+    1, 2 and 3 — including the exact 64/65 boundary pair — are all
+    exercised, across the improvement toggles, the tie-break orders and
+    the wave-scheduling policies.
+    """
+
+    def _scalar_reference(self, config, pairs):
+        counter = AccessCounter()
+        aligner = GenASMAligner(config)
+        alignments = []
+        for pattern, text in pairs:
+            pair_counter = AccessCounter()
+            alignments.append(aligner.align(pattern, text, counter=pair_counter))
+            counter.merge(pair_counter)
+        return alignments, counter
+
+    @pytest.mark.parametrize("window_size", WINDOW_SIZES)
+    @pytest.mark.parametrize(
+        "entry_compression,early_termination,traceback_band", TOGGLE_COMBOS
+    )
+    def test_window_widths_across_toggles(
+        self, rng, window_size, entry_compression, early_termination, traceback_band
+    ):
+        config = window_config(
+            window_size,
+            entry_compression=entry_compression,
+            early_termination=early_termination,
+            traceback_band=traceback_band,
+        )
+        pairs = window_boundary_pairs(rng, window_size)
+        context = (
+            f"window={window_size} ec={entry_compression} "
+            f"et={early_termination} tb={traceback_band}"
+        )
+        scalar, scalar_counter = self._scalar_reference(config, pairs)
+        batch_counter = AccessCounter()
+        engine = BatchAlignmentEngine(config, scalar_traceback_threshold=0)
+        batch = engine.align_pairs(pairs, counter=batch_counter)
+        assert_pairwise_identical(scalar, batch, context)
+        assert batch_counter.as_dict() == scalar_counter.as_dict(), context
+        expected_words = -(-window_size // 64)
+        for alignment in batch:
+            assert alignment.metadata["vectorized"] is True, context
+            assert alignment.metadata["words_per_lane"] == expected_words, context
+
+    @pytest.mark.parametrize("window_size", WINDOW_SIZES)
+    @pytest.mark.parametrize("priority", PRIORITIES)
+    def test_window_widths_across_priorities(self, rng, window_size, priority):
+        config = window_config(window_size, match_priority=priority)
+        pairs = window_boundary_pairs(rng, window_size)
+        context = f"window={window_size} priority={priority}"
+        scalar, scalar_counter = self._scalar_reference(config, pairs)
+        for threshold in (0, 10**9):  # both traceback paths of the heuristic
+            batch_counter = AccessCounter()
+            batch = BatchAlignmentEngine(
+                config, scalar_traceback_threshold=threshold
+            ).align_pairs(pairs, counter=batch_counter)
+            assert_pairwise_identical(scalar, batch, f"{context} thr={threshold}")
+            assert batch_counter.as_dict() == scalar_counter.as_dict(), context
+
+    @pytest.mark.parametrize("window_size", [65, 96, 150])
+    @pytest.mark.parametrize("scheduling", ["sorted", "fifo"])
+    def test_window_widths_across_scheduling(self, rng, window_size, scheduling):
+        config = window_config(window_size)
+        pairs = window_boundary_pairs(rng, window_size)
+        context = f"window={window_size} scheduling={scheduling}"
+        scalar, scalar_counter = self._scalar_reference(config, pairs)
+        batch_counter = AccessCounter()
+        chunked = BatchAlignmentEngine(
+            config, max_lanes=3, scheduling=scheduling, scalar_traceback_threshold=0
+        ).align_pairs(pairs, counter=batch_counter)
+        assert_pairwise_identical(scalar, chunked, context)
+        assert batch_counter.as_dict() == scalar_counter.as_dict(), context
+
+    def test_short_read_config_takes_vectorized_path(self, rng):
+        # The acceptance criterion of the multi-word PR: short_read(150)
+        # batches run 3-word lanes with no scalar fallback.
+        config = GenASMConfig.short_read(150)
+        engine = BatchAlignmentEngine(config, scalar_traceback_threshold=0)
+        assert engine.vectorizable
+        assert engine.words_per_lane == 3
+        pattern = random_dna(rng, 150)
+        pairs = [(pattern, mutate(rng, pattern, 7) + "ACGTAC")] * 4
+        for alignment in engine.align_pairs(pairs):
+            assert alignment.metadata["vectorized"] is True
+            assert alignment.metadata["words_per_lane"] == 3
+            assert alignment.metadata["traceback_path"] == "lockstep"
+
+
 class TestDecisionWords:
     """Decision planes ≡ the scalar predicates, bit by bit."""
 
@@ -157,13 +289,33 @@ class TestDecisionWords:
             text = mutate(rng, pattern, 1) + random_dna(rng, 3)
             jobs.append(LaneJob(pattern=pattern, text=text, max_errors=k))
         wave = SoAWave(jobs, traceback_band=traceback_band)
+        self._assert_planes_match(wave, entry_compression, traceback_band)
+
+    @pytest.mark.parametrize("entry_compression", [False, True])
+    @pytest.mark.parametrize("traceback_band", [False, True])
+    def test_multi_word_planes_match_scalar_predicates(
+        self, rng, entry_compression, traceback_band
+    ):
+        # 2- and 3-word lanes mixed with a 1-word lane in the same wave:
+        # every decision bit — in particular the i % 64 == 0 stitches at
+        # bits 64 and 128 — must equal the scalar predicate verdicts.
+        jobs = []
+        for length, k in [(70, 3), (65, 2), (130, 3), (20, 2)]:
+            pattern = random_dna(rng, length)
+            text = mutate(rng, pattern, 2)[: length // 10 + 8]
+            jobs.append(LaneJob(pattern=pattern, text=text, max_errors=k))
+        wave = SoAWave(jobs, traceback_band=traceback_band)
+        assert wave.words == 3
+        self._assert_planes_match(wave, entry_compression, traceback_band)
+
+    def _assert_planes_match(self, wave, entry_compression, traceback_band):
         state = run_dc_wave_state(wave, entry_compression=entry_compression)
         decisions = build_wave_decisions(
             wave, state.stored_rows, entry_compression=entry_compression
         )
         tables = state.tables()
 
-        for lane, (job, table) in enumerate(zip(jobs, tables)):
+        for lane, (job, table) in enumerate(zip(wave.jobs, tables)):
             conditions = traceback_conditions(table)
             m, n = len(job.pattern), len(job.text)
             for d in range(table.rows_computed):
@@ -216,6 +368,71 @@ class TestGoldenCorpus:
         assert any(
             e["edit_distance"] >= len(e["pattern"]) // 2 for e in corpus["entries"]
         )
+
+
+class TestShortReadGoldenCorpus:
+    """Scalar, vectorized and streaming paths all reproduce the 3-word corpus.
+
+    The short-read section of ``golden_corpus.json`` pins the multi-word
+    engine: Illumina-length pairs under ``GenASMConfig.short_read(150)``
+    (150-character windows, 3 ``uint64`` words per lane; regenerate with
+    ``tests/data/regenerate_golden_corpus.py``).
+    """
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        with open(DATA_DIR / "golden_corpus.json") as fh:
+            return json.load(fh)
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return GenASMConfig.short_read(150)
+
+    def _assert_reproduces(self, entries, alignments):
+        for entry, alignment in zip(entries, alignments):
+            assert str(alignment.cigar) == entry["cigar"]
+            assert alignment.edit_distance == entry["edit_distance"]
+            assert alignment.text_end == entry["text_end"]
+
+    def test_scalar_reproduces_short_read_golden(self, corpus, config):
+        aligner = GenASMAligner(config)
+        entries = corpus["short_read_entries"]
+        self._assert_reproduces(
+            entries, [aligner.align(e["pattern"], e["text"]) for e in entries]
+        )
+
+    @pytest.mark.parametrize("threshold", [0, 10**9])
+    def test_vectorized_reproduces_short_read_golden(self, corpus, config, threshold):
+        entries = corpus["short_read_entries"]
+        pairs = [(e["pattern"], e["text"]) for e in entries]
+        engine = BatchAlignmentEngine(config, scalar_traceback_threshold=threshold)
+        alignments = engine.align_pairs(pairs)
+        self._assert_reproduces(entries, alignments)
+        # No silent scalar fallback: every alignment went through the
+        # 3-word lockstep engine.
+        for alignment in alignments:
+            assert alignment.metadata["vectorized"] is True
+            assert alignment.metadata["words_per_lane"] == 3
+
+    def test_streaming_reproduces_short_read_golden(self, corpus, config):
+        from repro.pipeline import StreamingPipeline
+
+        entries = corpus["short_read_entries"]
+        pairs = [(e["pattern"], e["text"]) for e in entries]
+        pipeline = StreamingPipeline(config=config, wave_size=4)
+        self._assert_reproduces(entries, pipeline.align_pairs(pairs))
+
+    def test_short_read_corpus_exercises_word_boundaries(self, corpus):
+        lengths = {len(e["pattern"]) for e in corpus["short_read_entries"]}
+        # Word counts 1, 2 and 3 including the exact 64/65 boundary pair.
+        for boundary in (63, 64, 65, 128, 129, 150):
+            assert boundary in lengths, f"corpus lost its {boundary} bp entry"
+        entries = corpus["short_read_entries"]
+        assert any(e["edit_distance"] == 0 for e in entries)
+        assert any(
+            e["edit_distance"] >= len(e["pattern"]) // 2 for e in entries
+        )
+        assert any(len(e["pattern"]) > 150 for e in entries), "multi-window short reads"
 
 
 class TestWaveScheduling:

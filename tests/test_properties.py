@@ -1,4 +1,6 @@
-"""Property-based tests (hypothesis) for the core alignment invariants."""
+"""Property-based tests (hypothesis) for the core alignment invariants,
+plus the multi-word lane invariants of the vectorized batch engine (the
+cross-word carry at pattern bits ``i % 64 == 0``)."""
 
 from hypothesis import given, settings, strategies as st
 
@@ -8,12 +10,22 @@ from repro.baselines.needleman_wunsch import (
     prefix_edit_distance,
     semiglobal_edit_distance,
 )
+from repro.batch import (
+    BatchAlignmentEngine,
+    LaneJob,
+    SoAWave,
+    build_wave_decisions,
+    run_dc_wave_state,
+)
 from repro.core.aligner import GenASMAligner
 from repro.core.config import GenASMConfig
 from repro.core.genasm_dc import genasm_distance_only
+from repro.core.genasm_tb import traceback_conditions
 
 dna = st.text(alphabet="ACGT", min_size=0, max_size=48)
 dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=48)
+#: Patterns wide enough to straddle the 64-bit word boundary (2-3 words).
+dna_straddling = st.text(alphabet="ACGT", min_size=60, max_size=140)
 
 _improved = GenASMAligner()
 _baseline = GenASMAligner(GenASMConfig.baseline())
@@ -85,3 +97,102 @@ def test_cigar_consumes_whole_pattern(pattern, text):
     alignment = _improved.align(pattern, text)
     assert alignment.cigar.pattern_length == len(pattern)
     assert alignment.cigar.text_length <= len(text)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-word lane invariants (repro.batch): the cross-word carry of the
+# lockstep DC recurrence and decision planes must agree bit for bit with
+# the scalar predicates, in particular at pattern bits i with i % 64 == 0
+# (the stitch where bit 63 of word w carries into bit 0 of word w + 1).
+# --------------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(
+    dna_straddling,
+    st.text(alphabet="ACGT", min_size=0, max_size=20),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+    st.booleans(),
+)
+def test_multi_word_decision_planes_equal_scalar_predicates(
+    pattern, noise, k, entry_compression, traceback_band
+):
+    # Text derived from the pattern so the DP has real match structure;
+    # the pair straddles word boundaries by construction (m in 60..140).
+    text = pattern[: len(pattern) // 2] + noise
+    wave = SoAWave(
+        [LaneJob(pattern=pattern, text=text, max_errors=k)],
+        traceback_band=traceback_band,
+    )
+    state = run_dc_wave_state(wave, entry_compression=entry_compression)
+    decisions = build_wave_decisions(
+        wave, state.stored_rows, entry_compression=entry_compression
+    )
+    table = state.table(0)
+    conditions = traceback_conditions(table)
+    m, n = len(pattern), len(text)
+    # Every word-boundary bit plus the edges and a mid-word control.
+    probe_bits = {0, 1, 31, m - 1} | {
+        b for b in (62, 63, 64, 65, 126, 127, 128, 129) if b < m
+    }
+    for d in range(table.rows_computed):
+        for j in range(1, n + 1):
+            for i in sorted(probe_bits):
+                for letter in "MSID":
+                    assert decisions.bit(letter, 0, d, j, i) == conditions[letter](
+                        j, d, i
+                    ), (
+                        f"letter={letter} d={d} j={j} i={i} "
+                        f"ec={entry_compression} band={traceback_band}"
+                    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(dna_straddling, st.integers(min_value=0, max_value=10))
+def test_multi_word_vectorized_alignment_equals_scalar(pattern, edits):
+    # End-to-end: the multi-word lockstep engine reproduces the scalar
+    # windowed aligner on single-window short-read configs.
+    text = (pattern[:edits] + pattern[edits:][::-1])[: len(pattern)] + "ACGT"
+    config = GenASMConfig.short_read(len(pattern))
+    want = GenASMAligner(config).align(pattern, text)
+    engine = BatchAlignmentEngine(config, scalar_traceback_threshold=0)
+    got = engine.align_pairs([(pattern, text)])[0]
+    assert str(got.cigar) == str(want.cigar)
+    assert got.edit_distance == want.edit_distance
+    assert got.text_end == want.text_end
+    assert got.metadata["vectorized"] is True
+    assert got.metadata["words_per_lane"] == -(-len(pattern) // 64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=32),
+    st.integers(min_value=1, max_value=16),
+)
+def test_lockstep_scheduling_invariants_hold_for_multi_word_lanes(lengths, group):
+    # scheduling_stats must stay a valid lockstep model when lanes cost
+    # words × windows: conserved useful work, efficiency in (0, 1], and
+    # the lockstep (padded) work never below the useful work.
+    config = GenASMConfig.short_read(150)
+    engine = BatchAlignmentEngine(config, max_lanes=group)
+    pairs = [("A" * length, "A" * length) for length in lengths]
+    stats = engine.scheduling_stats(pairs)
+    assert stats["useful_work"] == sum(
+        engine.expected_work(length) for length in lengths
+    )
+    assert 0.0 < stats["efficiency"] <= 1.0
+    assert stats["lockstep_work"] >= stats["useful_work"]
+    # A full 150 bp lane costs three word-steps per window; fragments of
+    # at most 64 bp cost one.
+    assert engine.expected_work(150) == 3 * engine.expected_windows(150)
+    assert engine.expected_work(64) == engine.expected_windows(64)
+    # With full groups, sorted chunking minimises the sum of group maxima
+    # (rearrangement argument), so it never does worse than fifo.  An
+    # underfull trailing chunk breaks that guarantee: ascending order puts
+    # the *largest* lanes in the full final group (e.g. work [2, 2, 1] in
+    # groups of 2: sorted chunks [1, 2] + [2] cost 6, fifo [2, 2] + [1]
+    # costs 5), so only assert it when the group size divides the batch.
+    if len(lengths) % group == 0:
+        fifo = BatchAlignmentEngine(
+            config, max_lanes=group, scheduling="fifo"
+        ).scheduling_stats(pairs)
+        assert stats["efficiency"] >= fifo["efficiency"] - 1e-12
