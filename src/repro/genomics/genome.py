@@ -135,6 +135,10 @@ class SyntheticGenome:
         """Full sequence of one chromosome."""
         return self.chromosomes[chrom]
 
+    def chromosome_length(self, chrom: str) -> int:
+        """Length of one chromosome in bases."""
+        return len(self.chromosomes[chrom])
+
     def fetch(self, chrom: str, start: int, end: int) -> str:
         """Extract ``[start, end)`` of a chromosome (clamped to its bounds)."""
         seq = self.chromosomes[chrom]

@@ -59,6 +59,10 @@ class Mapper:
     all_chains:
         Report every chain above threshold (the ``-P`` behaviour the paper
         uses) rather than only the primary chain.
+    index:
+        Pre-built index to map against instead of building one here —
+        e.g. a :class:`repro.parallel.shm.SharedMinimizerIndex` attached
+        to segments hosted by another process.  Must match ``k``/``w``.
     """
 
     def __init__(
@@ -72,17 +76,19 @@ class Mapper:
         min_chain_anchors: int = 3,
         region_padding: int = 64,
         all_chains: bool = True,
+        index=None,
     ) -> None:
         self.genome = genome
         self.k = k
         self.w = w
+        self.max_occurrences = max_occurrences
         self.min_chain_score = min_chain_score
         self.min_chain_anchors = min_chain_anchors
         self.region_padding = region_padding
         self.all_chains = all_chains
-        self.index = MinimizerIndex.build(
-            genome, k, w, max_occurrences=max_occurrences
-        )
+        if index is None:
+            index = MinimizerIndex.build(genome, k, w, max_occurrences=max_occurrences)
+        self.index = index
 
     # ------------------------------------------------------------------ #
     def map_sequence(self, name: str, sequence: str) -> List[CandidateMapping]:
@@ -164,7 +170,7 @@ class Mapper:
         region start.  The right edge gets ``region_padding`` extra bases so
         insertions near the read end never run out of reference.
         """
-        chrom_len = len(self.genome.sequence(chrom))
+        chrom_len = self.genome.chromosome_length(chrom)
         start = chain.ref_start - chain.query_start
         end = chain.ref_end + (read_length - chain.query_end) + self.region_padding
         return max(0, start), min(chrom_len, end)
@@ -192,34 +198,34 @@ class Mapper:
         *,
         backend: str = "vectorized",
         workers: int = 1,
+        executor=None,
     ) -> List[Alignment]:
         """Batch-align every candidate region against its read with GenASM.
 
         This is the mapper half of the paper's pipeline joined to the
         aligner half: the candidate regions produced by seed-and-chain are
-        gathered into one batch of (pattern, text) pairs and pushed through
-        :meth:`repro.parallel.executor.BatchExecutor.run_alignments`, which
-        defaults to the vectorized lockstep engine (``backend`` selects
-        ``serial``/``process``/``vectorized``/``streaming``; all four
-        produce identical alignments).  The ``streaming`` backend routes
-        the pairs through :class:`repro.pipeline.StreamingPipeline` — wave
-        accumulation plus (with ``workers > 1``) wave-sharded process
-        execution; for full ingest/map/align overlap, drive
-        :meth:`StreamingPipeline.run` with the reads directly instead.
-        ``workers`` only takes effect with the ``process`` and
-        ``streaming`` backends — serial and vectorized runs are
-        single-process.  The returned list is parallel to ``candidates``.
+        gathered into one batch of (pattern, text) pairs and dispatched
+        through the :mod:`repro.execution` backend registry.  ``backend``
+        names any registered backend (``serial``/``process``/
+        ``vectorized``/``shared``/``streaming`` today); all of them produce
+        identical alignments.  ``workers`` only takes effect on the
+        multiprocess backends, and ``executor`` threads a reusable
+        :class:`repro.parallel.shm.SharedMemoryExecutor` into the backends
+        that accept one.  For full ingest/map/align overlap, drive
+        :meth:`repro.pipeline.StreamingPipeline.run` with the reads
+        directly instead.  The returned list is parallel to ``candidates``.
         """
+        from repro.execution import get_backend
+
         pairs = [
             self.candidate_region_sequence(c, read_sequences[c.read_name])
             for c in candidates
         ]
-        if backend == "streaming":
-            from repro.pipeline import StreamingPipeline
-
-            pipeline = StreamingPipeline(self, config, align_workers=workers)
-            return pipeline.align_pairs(pairs)
-        from repro.parallel.executor import BatchExecutor
-
-        executor = BatchExecutor(workers=workers, backend=backend)
-        return executor.run_alignments(pairs, config, name="candidate-batch").results
+        impl = get_backend(backend)
+        return impl.align_pairs(
+            pairs,
+            config if config is not None else GenASMConfig(),
+            workers=workers,
+            mapper=self,
+            executor=executor,
+        )

@@ -1,9 +1,14 @@
 """Batch execution utilities for the CPU evaluation.
 
-:class:`BatchExecutor` runs alignment batches with one of three backends —
-``serial`` (Python loop), ``process`` (spawn-context multiprocessing pool),
-or ``vectorized`` (the lockstep SoA engine from :mod:`repro.batch`) — all
-of which produce identical alignments for the same pairs and config.
+:class:`BatchExecutor` runs alignment batches through the
+:mod:`repro.execution` backend registry — ``serial`` (Python loop),
+``process`` (pickle-per-pair spawn pool), ``vectorized`` (the lockstep SoA
+engine from :mod:`repro.batch`), ``shared`` (zero-copy shared-memory pool,
+:mod:`repro.parallel.shm`) and ``streaming`` (the wave pipeline) — all of
+which produce identical alignments for the same pairs and config.
+:class:`SharedMemoryExecutor` is the warm pool behind ``shared``: it hosts
+the reference genome and minimizer index in shared segments built once and
+ships waves as descriptors, not arrays.
 """
 
 from repro.parallel.executor import (
@@ -13,5 +18,23 @@ from repro.parallel.executor import (
     Stopwatch,
     chunk_items,
 )
+from repro.parallel.shm import (
+    SegmentLayout,
+    SharedGenome,
+    SharedMemoryExecutor,
+    SharedMinimizerIndex,
+    SharedSegment,
+)
 
-__all__ = ["BACKENDS", "BatchExecutor", "BatchResult", "Stopwatch", "chunk_items"]
+__all__ = [
+    "BACKENDS",
+    "BatchExecutor",
+    "BatchResult",
+    "SegmentLayout",
+    "SharedGenome",
+    "SharedMemoryExecutor",
+    "SharedMinimizerIndex",
+    "SharedSegment",
+    "Stopwatch",
+    "chunk_items",
+]

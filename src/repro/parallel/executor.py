@@ -20,8 +20,11 @@ layer for this library.  It supports three backends:
     uses it (arbitrary callables cannot be vectorized).
 
 ``run``/``run_pairs`` execute arbitrary callables (serially or with the
-pool); :meth:`run_alignments` is the GenASM-specific entry point that can
-additionally dispatch to the vectorized engine.
+pool); :meth:`run_alignments` is the GenASM-specific entry point, and it
+dispatches through the :mod:`repro.execution` backend registry — so the
+``shared`` (zero-copy shared-memory pool) and ``streaming`` (wave
+pipeline) backends, and anything registered later (``gpu``), are reachable
+from here without this module knowing about them.
 """
 
 from __future__ import annotations
@@ -45,8 +48,10 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Backends accepted by :class:`BatchExecutor`.
-BACKENDS = ("serial", "process", "vectorized")
+#: Backends accepted by :class:`BatchExecutor` (the execution registry's
+#: built-ins; see :func:`repro.execution.available_backends` for the live
+#: set including late registrations).
+BACKENDS = ("serial", "process", "vectorized", "shared", "streaming")
 
 
 class Stopwatch:
@@ -172,10 +177,11 @@ class BatchExecutor:
     def __init__(
         self, workers: int = 1, chunk_size: int = 32, backend: str = "serial"
     ) -> None:
+        from repro.execution import get_backend
+
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        get_backend(backend)  # raises ValueError for unregistered names
         self.workers = workers
         self.chunk_size = chunk_size
         self.backend = backend
@@ -236,54 +242,49 @@ class BatchExecutor:
         *,
         name: str = "genasm-batch",
         backend: Optional[str] = None,
+        executor=None,
     ) -> BatchResult[Alignment]:
         """Align a batch of (pattern, text) pairs with GenASM.
 
-        Dispatches on ``backend`` (defaulting to the executor's):
-
-        * ``serial`` — one :class:`~repro.core.aligner.GenASMAligner` in a
-          Python loop;
-        * ``process`` — ``workers`` spawn processes, each aligning its
-          chunk with a private aligner;
-        * ``vectorized`` — the lockstep SoA engine from :mod:`repro.batch`.
-
-        All three produce identical alignments (CIGAR, edit distance,
-        consumed text span) for the same pairs and config.
+        ``backend`` (defaulting to the executor's) names any entry in the
+        :mod:`repro.execution` registry — ``serial``, ``process``,
+        ``vectorized``, ``shared``, ``streaming``, plus whatever has been
+        registered since.  Every backend produces identical alignments
+        (CIGAR, edit distance, consumed text span) for the same pairs and
+        config; they differ only in how the work moves (see
+        :func:`repro.execution.capability_matrix`).  ``executor`` threads a
+        reusable :class:`repro.parallel.shm.SharedMemoryExecutor` into the
+        backends that can use one (``shared``, ``streaming``).
         """
-        backend = backend if backend is not None else self.backend
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        from repro.execution import get_backend
+
+        backend_name = backend if backend is not None else self.backend
+        impl = get_backend(backend_name)
         config = config if config is not None else GenASMConfig()
 
-        if backend == "process" and self.workers == 1:
+        if backend_name == "process" and self.workers == 1:
             # Be honest about what actually runs: a 1-worker "pool" is the
             # serial loop, and reporting it as "process" would misattribute
             # throughput numbers.
-            backend = "serial"
+            backend_name = "serial"
+            impl = get_backend(backend_name)
 
         watch = Stopwatch()
         watch.start()
-        if backend == "vectorized":
-            from repro.batch import BatchAlignmentEngine
-
-            results = BatchAlignmentEngine(config).align_pairs(pairs)
-            workers_used = 1
-        elif backend == "process":
-            results = self._pool_map(partial(_align_pair_with_config, config), pairs)
-            workers_used = self.workers
-        else:
-            from repro.core.aligner import GenASMAligner
-
-            aligner = GenASMAligner(config)
-            results = [aligner.align(p, t) for p, t in pairs]
-            workers_used = 1
+        results = impl.align_pairs(
+            pairs,
+            config,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            executor=executor,
+        )
         elapsed = watch.stop()
         return BatchResult(
             results=list(results),
             elapsed_seconds=elapsed,
             items=len(pairs),
-            workers=workers_used,
+            workers=impl.effective_workers(self.workers),
             name=name,
-            backend=backend,
+            backend=backend_name,
             metadata={"config": config},
         )

@@ -8,10 +8,14 @@ the engine on exactly that wave — unlike the historical ``process`` backend
 of :class:`repro.parallel.executor.BatchExecutor`, which shipped individual
 pairs and rebuilt a scalar aligner per worker, workers here execute whole
 lockstep waves, so the vectorized path and multiprocessing compose instead
-of competing.  Short-read (``window_size > 64``) configurations dispatch
-the same way: the engine's multi-word lanes mean no per-wave scalar
-fallback, and the accumulator feeding this stage groups lanes by the
-engine's windows × words/lane cost model
+of competing.  With an ``executor``
+(:class:`repro.parallel.shm.SharedMemoryExecutor`) the pickling goes away
+too: each wave is packed into a shared-memory segment and only its layout
+descriptor crosses the process boundary, into workers holding warm,
+already-constructed engines.  Short-read (``window_size > 64``)
+configurations dispatch the same way: the engine's multi-word lanes mean
+no per-wave scalar fallback, and the accumulator feeding this stage groups
+lanes by the engine's windows × words/lane cost model
 (:meth:`repro.batch.BatchAlignmentEngine.expected_work`).
 
 Results are collected in wave submission order behind a bounded in-flight
@@ -59,6 +63,13 @@ class AlignStage:
     inflight:
         Maximum waves in flight before :meth:`submit` blocks on the oldest
         (defaults to ``2 * workers``).
+    executor:
+        Optional started-or-startable
+        :class:`repro.parallel.shm.SharedMemoryExecutor`; when given,
+        waves are dispatched to it as shared-memory descriptors instead of
+        pickled pairs.  The executor stays caller-owned: :meth:`close`
+        does not shut it down, so one warm pool can serve many runs.  Its
+        config must equal this stage's.
     max_lanes, scheduling, scalar_traceback_threshold, name:
         Forwarded to :class:`BatchAlignmentEngine`.
     """
@@ -69,6 +80,7 @@ class AlignStage:
         *,
         workers: int = 1,
         inflight: Optional[int] = None,
+        executor=None,
         max_lanes: Optional[int] = None,
         scheduling: str = "sorted",
         scalar_traceback_threshold: int = DEFAULT_SCALAR_TRACEBACK_THRESHOLD,
@@ -78,7 +90,10 @@ class AlignStage:
             raise ValueError("workers must be at least 1")
         if inflight is not None and inflight < 1:
             raise ValueError("inflight must be at least 1")
+        if executor is not None:
+            workers = max(workers, executor.workers)
         self.workers = workers
+        self.executor = executor
         self.inflight = inflight if inflight is not None else max(2, 2 * workers)
         self._engine_kwargs = {
             "max_lanes": max_lanes,
@@ -90,6 +105,11 @@ class AlignStage:
         # the sharded mode, so bad options fail at construction, not in a
         # worker traceback.
         self.engine = BatchAlignmentEngine(config, **self._engine_kwargs)
+        if executor is not None and executor.config != self.engine.config:
+            raise ValueError(
+                "shared-memory executor was built with a different config "
+                "than this align stage"
+            )
         self._pool = None
         self._window = InflightWindow(self.inflight)
 
@@ -101,6 +121,9 @@ class AlignStage:
     def submit(self, wave: Sequence) -> None:
         """Dispatch one wave (items must expose ``pattern`` and ``text``)."""
         pairs = [(item.pattern, item.text) for item in wave]
+        if self.executor is not None:
+            self._window.append(list(wave), self.executor.submit_wave(pairs))
+            return
         if self.workers == 1:
             self._window.append(list(wave), self.engine.align_pairs(pairs))
             return
@@ -138,7 +161,11 @@ class AlignStage:
         return self.collect(block=True)
 
     def close(self) -> None:
-        """Shut down the process pool (if one was created)."""
+        """Shut down the stage's own process pool (if one was created).
+
+        A caller-provided shared-memory executor is deliberately left
+        running — its pool and hosted segments outlive individual runs.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

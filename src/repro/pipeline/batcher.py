@@ -15,7 +15,13 @@ implements the PR-2 sorted-scheduling policy incrementally:
 * a ``linger_seconds`` timeout flushes everything pending (including a
   partial trailing wave) once the oldest buffered item has waited too
   long — the latency escape hatch for sparse streams;
-* :meth:`flush` drains the remainder at end of stream.
+* :meth:`flush` drains the remainder at end of stream;
+* when a drain would end in a *sub-threshold* trailing wave (fewer than
+  ``merge_below`` lanes), the tail is merged into the preceding wave
+  instead of paying full per-wave dispatch overhead for a handful of
+  lanes — the ROADMAP's adaptive wave sizing.  Merged waves exceed
+  ``wave_size``; the engine runs them as one chunk (the align stage
+  leaves ``max_lanes`` unset), and :attr:`scheduling_stats` counts them.
 
 Wave grouping never changes any alignment (each pair's result is
 independent of which wave carries it — the engine is byte-identical to the
@@ -51,6 +57,11 @@ class WaveAccumulator:
     scheduling:
         ``"sorted"`` (work-ordered waves) or ``"fifo"`` (arrival order) —
         the same policies :class:`repro.batch.BatchAlignmentEngine` accepts.
+    merge_below:
+        Partial-drain tail merging: when a drain cuts several waves and
+        the trailing one has fewer than this many lanes, it is folded into
+        the preceding wave.  Defaults to ``wave_size // 2``; ``0``
+        disables merging.
     work_key:
         Expected-work estimate per item used by the sorted policy.
     clock:
@@ -67,6 +78,7 @@ class WaveAccumulator:
         max_pending: int = 256,
         linger_seconds: Optional[float] = None,
         scheduling: str = "sorted",
+        merge_below: Optional[int] = None,
         work_key: Optional[Callable[[object], float]] = None,
         clock: Callable[[], float] = time.monotonic,
         stats: Optional[PipelineStats] = None,
@@ -81,13 +93,20 @@ class WaveAccumulator:
             raise ValueError(
                 f"scheduling must be one of {SCHEDULING_POLICIES}, got {scheduling!r}"
             )
+        if merge_below is not None and merge_below < 0:
+            raise ValueError("merge_below must be non-negative")
         self.wave_size = wave_size
         self.max_pending = max_pending
         self.linger_seconds = linger_seconds
         self.scheduling = scheduling
+        self.merge_below = merge_below if merge_below is not None else wave_size // 2
         self.work_key = work_key if work_key is not None else (lambda item: 0.0)
         self.clock = clock
         self.stats = stats
+        #: Wave-shaping diagnostics, mirroring the engine's scheduling
+        #: vocabulary: how many trailing partial waves were folded into
+        #: their predecessor, and how many lanes rode along.
+        self.scheduling_stats = {"merged_waves": 0, "merged_lanes": 0}
         self._pending: List[object] = []  # arrival order
         self._oldest: Optional[float] = None
 
@@ -120,9 +139,14 @@ class WaveAccumulator:
             return self._cut(partial=len(self._pending) < self.wave_size, reason="size")
         return []
 
-    def flush(self) -> List[List[object]]:
-        """Drain everything pending (end of stream), partial wave included."""
-        return self._cut(partial=True, reason="final")
+    def flush(self, *, reason: str = "final") -> List[List[object]]:
+        """Drain everything pending, partial wave included.
+
+        ``reason`` labels the flush in the stats — ``"final"`` at end of
+        stream (the default), ``"reorder"`` when the pipeline force-drains
+        to keep its bounded reorder buffer progressing.
+        """
+        return self._cut(partial=True, reason=reason)
 
     # ------------------------------------------------------------------ #
     def _order(self) -> List[int]:
@@ -151,6 +175,13 @@ class WaveAccumulator:
         # A non-empty remainder keeps the current _oldest timestamp: the
         # sorted cut may leave the oldest item pending, and a conservative
         # age only makes the timeout fire sooner, never starve.
+        if len(waves) >= 2 and 0 < len(waves[-1]) < self.merge_below:
+            tail = waves.pop()
+            waves[-1].extend(tail)
+            self.scheduling_stats["merged_waves"] += 1
+            self.scheduling_stats["merged_lanes"] += len(tail)
+            if self.stats is not None:
+                self.stats.record_merge(len(tail))
         if self.stats is not None:
             for wave in waves:
                 self.stats.record_wave(len(wave), reason)

@@ -4,9 +4,14 @@ Wraps a :class:`repro.mapping.mapper.Mapper` behind a submit/collect
 interface so the pipeline driver can overlap mapping with ingest and wave
 execution.  With ``workers == 1`` mapping is inline (deterministic and
 dependency-free); with ``workers > 1`` reads are mapped on a thread pool
-with a bounded in-flight window, and results are always collected in read
-submission order, so the pipeline's output order never depends on thread
-timing.
+with a bounded in-flight window; with an ``executor``
+(:class:`repro.parallel.shm.SharedMemoryExecutor` built over the same
+mapper) reads are mapped on worker *processes* against the genome and
+minimizer index hosted in shared memory — seed-and-chain is pure Python
+and GIL-bound, so threads only overlap mapping with alignment, while
+processes overlap mapping with itself.  Results are always collected in
+read submission order, so the pipeline's output order never depends on
+thread or process timing.
 
 Every mapped read yields its candidates in :meth:`Mapper.map_sequence`
 order — the exact order the offline path
@@ -42,18 +47,39 @@ class MapStage:
     prefetch:
         Maximum reads in flight before :meth:`submit` blocks on the oldest
         one (the stage's backpressure bound; defaults to ``4 * workers``).
+    executor:
+        Optional :class:`repro.parallel.shm.SharedMemoryExecutor` hosting
+        this mapper's genome and index; when given, reads are mapped on
+        its worker processes (``workers`` then only sizes the prefetch
+        default).  Caller-owned: :meth:`close` leaves it running.
     """
 
     def __init__(
-        self, mapper: Mapper, *, workers: int = 1, prefetch: Optional[int] = None
+        self,
+        mapper: Mapper,
+        *,
+        workers: int = 1,
+        prefetch: Optional[int] = None,
+        executor=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if prefetch is not None and prefetch < 1:
             raise ValueError("prefetch must be at least 1")
+        if executor is not None and executor.mapper is None:
+            raise ValueError(
+                "shared-memory executor was built without a mapper; "
+                "pass mapper= when constructing it"
+            )
+        if executor is not None and executor.mapper is not mapper:
+            raise ValueError(
+                "shared-memory executor hosts a different mapper than this "
+                "stage was given"
+            )
         self.mapper = mapper
-        self.workers = workers
-        self.prefetch = prefetch if prefetch is not None else max(2, 4 * workers)
+        self.workers = max(workers, executor.workers) if executor is not None else workers
+        self.executor = executor
+        self.prefetch = prefetch if prefetch is not None else max(2, 4 * self.workers)
         self._pool = None
         self._window = InflightWindow(self.prefetch)
 
@@ -68,7 +94,12 @@ class MapStage:
         ]
 
     def submit(self, record: ReadRecord) -> None:
-        """Queue one read for mapping (inline, or on the thread pool)."""
+        """Queue one read for mapping (inline, threads, or processes)."""
+        if self.executor is not None:
+            self._window.append(
+                record, self.executor.submit_map(record.name, record.sequence)
+            )
+            return
         if self.workers == 1:
             self._window.append(record, self.map_record(record))
             return
@@ -94,7 +125,10 @@ class MapStage:
         return self.collect(block=True)
 
     def close(self) -> None:
-        """Shut down the thread pool (if one was created)."""
+        """Shut down the stage's thread pool (if one was created).
+
+        A caller-provided shared-memory executor is left running.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -94,6 +94,31 @@ class StreamingPipeline:
         (1 = inline, deterministic, dependency-free).
     align_inflight:
         Bound on waves in flight in the align stage.
+    executor:
+        Optional :class:`repro.parallel.shm.SharedMemoryExecutor`.  Waves
+        are dispatched to it as shared-memory descriptors, and — when it
+        was built over this pipeline's mapper and ``map_workers > 1`` —
+        reads are mapped on its worker processes against the shared index
+        too.  Caller-owned and reusable across runs; keep it warm
+        (:meth:`~SharedMemoryExecutor.warm`) to pay worker spawn once, not
+        per run.
+    max_reorder:
+        Bound on the in-order emission buffer.  Emission can lag alignment
+        by at most this many results: when a completed-but-unemittable
+        backlog exceeds the bound, the pipeline force-drains the
+        accumulator and align stage (flush reason ``"reorder"``) so the
+        blocking candidate completes — guaranteed progress, at the cost of
+        cutting waves early.  ``None`` (default) leaves the buffer
+        unbounded, whose worst case is the whole stream (one slow first
+        candidate).  Irrelevant with ``ordered=False``.
+    ordered:
+        ``True`` (default) emits results in candidate input order through
+        the reorder buffer.  ``False`` emits each wave's results the
+        moment the wave completes — out-of-order across waves, no reorder
+        buffer at all; every result still carries its input ordinal in
+        :attr:`MappedAlignment.order` for callers that reorder downstream.
+        (:meth:`align_pairs` always returns input order; out-of-order mode
+        only changes *when* results become visible to :meth:`run`.)
     scalar_traceback_threshold:
         Forwarded to :class:`repro.batch.BatchAlignmentEngine`.
 
@@ -113,6 +138,9 @@ class StreamingPipeline:
         map_workers: int = 1,
         align_workers: int = 1,
         align_inflight: Optional[int] = None,
+        executor=None,
+        max_reorder: Optional[int] = None,
+        ordered: bool = True,
         scalar_traceback_threshold: Optional[int] = None,
         name: str = "genasm-streaming",
     ) -> None:
@@ -122,6 +150,8 @@ class StreamingPipeline:
             raise ValueError("wave_size must be at least 1")
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if max_reorder is not None and max_reorder < 1:
+            raise ValueError("max_reorder must be at least 1")
         self.wave_size = wave_size
         self.max_pending = max_pending
         self.linger_seconds = linger_seconds
@@ -129,6 +159,9 @@ class StreamingPipeline:
         self.map_workers = map_workers
         self.align_workers = align_workers
         self.align_inflight = align_inflight
+        self.executor = executor
+        self.max_reorder = max_reorder
+        self.ordered = ordered
         self.scalar_traceback_threshold = scalar_traceback_threshold
         self.name = name
         #: Stats of the most recent run (populated even on partial
@@ -137,10 +170,15 @@ class StreamingPipeline:
 
     # ------------------------------------------------------------------ #
     def _build_align_stage(self) -> AlignStage:
+        # max_lanes stays None: waves are already bounded by the
+        # accumulator, and a merged tail wave (wave_size + remainder lanes)
+        # must run as one engine chunk, not get re-split back into the
+        # partial dispatch the merge existed to avoid.
         kwargs = dict(
             workers=self.align_workers,
             inflight=self.align_inflight,
-            max_lanes=self.wave_size,
+            executor=self.executor,
+            max_lanes=None,
             scheduling=self.scheduling,
             name=self.name,
         )
@@ -207,14 +245,33 @@ class StreamingPipeline:
             CandidateWork(order, None, None, pattern, text)
             for order, (pattern, text) in enumerate(pairs)
         )
-        return [mapped.alignment for mapped in self._execute(works, stats)]
+        mapped = list(self._execute(works, stats))
+        if not self.ordered:
+            # Out-of-order emission only changes *when* results surface;
+            # this materialised view is always parallel to the input.
+            mapped.sort(key=lambda m: m.order)
+        return [m.alignment for m in mapped]
 
     # ------------------------------------------------------------------ #
     def _mapped_works(
         self, reads: Union[str, Iterable], mapper: Mapper, stats: PipelineStats
     ) -> Iterator[CandidateWork]:
         """Ingest + map: lazily turn a read source into CandidateWork items."""
-        map_stage = MapStage(mapper, workers=self.map_workers)
+        # The shared-memory executor maps on worker processes only when it
+        # hosts this mapper's genome/index AND the caller asked for parallel
+        # mapping (map_workers > 1) — per-read IPC round-trips only pay off
+        # when mapping actually runs concurrently with itself; map_workers=1
+        # keeps the inline, dependency-free path.
+        map_executor = (
+            self.executor
+            if (
+                self.executor is not None
+                and self.executor.mapper is mapper
+                and self.map_workers > 1
+            )
+            else None
+        )
+        map_stage = MapStage(mapper, workers=self.map_workers, executor=map_executor)
         order = 0
         try:
             records = stream_reads(reads)
@@ -243,10 +300,11 @@ class StreamingPipeline:
     def _execute(
         self, works: Iterator[CandidateWork], stats: PipelineStats
     ) -> Iterator[MappedAlignment]:
-        """Batch + align + emit over a work stream, in work order."""
+        """Batch + align + emit over a work stream (in work order by default)."""
         start = time.perf_counter()
         align = self._build_align_stage()
         accumulator = self._build_accumulator(stats, align)
+        stats.reorder_bound = self.max_reorder or 0
         buffer: Dict[int, MappedAlignment] = {}
         next_emit = 0
 
@@ -255,17 +313,25 @@ class StreamingPipeline:
         ) -> List[MappedAlignment]:
             nonlocal next_emit
             with stats.timer("emit"):
+                ready: List[MappedAlignment] = []
                 for wave, alignments in completed:
                     for work, alignment in zip(wave, alignments):
-                        buffer[work.order] = MappedAlignment(
+                        mapped = MappedAlignment(
                             work.order, work.read, work.candidate, alignment
                         )
+                        if self.ordered:
+                            buffer[work.order] = mapped
+                        else:
+                            ready.append(mapped)
                     stats.aligned += len(wave)
-                stats.sample_reorder(len(buffer))
-                ready: List[MappedAlignment] = []
                 while next_emit in buffer:
                     ready.append(buffer.pop(next_emit))
                     next_emit += 1
+                # Sampled after the drain: the high-water mark measures the
+                # *retained* backlog (results stuck behind a missing earlier
+                # ordinal) — the quantity max_reorder bounds — not the
+                # transient pass-through of a completing wave.
+                stats.sample_reorder(len(buffer))
                 return ready
 
         try:
@@ -278,6 +344,19 @@ class StreamingPipeline:
                         align.submit(wave)
                     completed = align.collect()
                 yield from absorb(completed)
+                if self.max_reorder is not None and len(buffer) > self.max_reorder:
+                    # Bounded reorder: the blocking candidate may still sit
+                    # in the accumulator, so draining alignment alone could
+                    # deadlock — force-flush both.  Every candidate pushed
+                    # so far then completes, which provably empties the
+                    # buffer (all ordinals below the current one emit).
+                    with stats.timer("batch"):
+                        waves = accumulator.flush(reason="reorder")
+                    with stats.timer("align"):
+                        for wave in waves:
+                            align.submit(wave)
+                        completed = align.drain()
+                    yield from absorb(completed)
             with stats.timer("batch"):
                 waves = accumulator.flush()
             with stats.timer("align"):

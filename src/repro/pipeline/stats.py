@@ -50,9 +50,16 @@ class PipelineStats:
         sum/count of per-push samples (see :attr:`mean_pending`).
     max_reorder_buffer:
         High-water mark of the in-order emission buffer.
+    reorder_bound:
+        Configured ``max_reorder`` cap on that buffer (``0`` = unbounded).
+    wave_merges, merged_lanes:
+        Trailing partial waves the accumulator folded into their
+        predecessor, and how many lanes rode along (see
+        :class:`~repro.pipeline.batcher.WaveAccumulator`).
     flushes:
         Wave-flush causes: ``size`` (backpressure / full wave), ``timeout``
-        (linger expired), ``final`` (end of stream).
+        (linger expired), ``final`` (end of stream), ``reorder`` (forced
+        drain to keep the bounded reorder buffer progressing).
     """
 
     wave_size: int = 0
@@ -69,6 +76,9 @@ class PipelineStats:
     pending_samples: int = 0
     pending_total: int = 0
     max_reorder_buffer: int = 0
+    reorder_bound: int = 0
+    wave_merges: int = 0
+    merged_lanes: int = 0
     flushes: Dict[str, int] = field(
         default_factory=lambda: {"size": 0, "timeout": 0, "final": 0}
     )
@@ -99,6 +109,11 @@ class PipelineStats:
         self.wave_lane_counts.append(lanes)
         self.flushes[reason] = self.flushes.get(reason, 0) + 1
 
+    def record_merge(self, lanes: int) -> None:
+        """Record one trailing partial wave folded into its predecessor."""
+        self.wave_merges += 1
+        self.merged_lanes += lanes
+
     # ------------------------------------------------------------------ #
     @property
     def mean_pending(self) -> float:
@@ -114,10 +129,16 @@ class PipelineStats:
 
     @property
     def wave_fill_efficiency(self) -> float:
-        """Occupied lane fraction over all dispatched waves (1.0 = all full)."""
+        """Occupied lane fraction over all dispatched waves (1.0 = all full).
+
+        Each wave's capacity is ``max(wave_size, lanes)``: tail-merged
+        waves legitimately exceed ``wave_size`` and count as full rather
+        than pushing the ratio past 1.0.
+        """
         if not self.wave_lane_counts or self.wave_size <= 0:
             return 1.0
-        return sum(self.wave_lane_counts) / (len(self.wave_lane_counts) * self.wave_size)
+        capacity = sum(max(self.wave_size, lanes) for lanes in self.wave_lane_counts)
+        return sum(self.wave_lane_counts) / capacity
 
     @property
     def reads_per_second(self) -> float:
@@ -147,6 +168,9 @@ class PipelineStats:
             "max_pending": self.max_pending,
             "mean_pending": self.mean_pending,
             "max_reorder_buffer": self.max_reorder_buffer,
+            "reorder_bound": self.reorder_bound,
+            "wave_merges": self.wave_merges,
+            "merged_lanes": self.merged_lanes,
             "flushes": dict(self.flushes),
             "reads_per_second": self.reads_per_second,
             "pairs_per_second": self.pairs_per_second,
@@ -165,8 +189,10 @@ class PipelineStats:
             f"({self.reads_per_second:.1f} reads/s, "
             f"{self.pairs_per_second:.1f} pairs/s)\n"
             f"waves: fill={self.wave_fill_efficiency:.3f} "
-            f"full={self.full_waves}/{self.waves} flushes={self.flushes}\n"
+            f"full={self.full_waves}/{self.waves} merges={self.wave_merges} "
+            f"flushes={self.flushes}\n"
             f"queues: max_pending={self.max_pending} "
             f"mean_pending={self.mean_pending:.1f} "
             f"max_reorder={self.max_reorder_buffer}"
+            + (f"/{self.reorder_bound}" if self.reorder_bound else "")
         )
