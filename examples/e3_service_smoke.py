@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""E3s service smoke: concurrent multi-tenant requests vs offline runs.
+
+The CI gate for the alignment-as-a-service front-end
+(:mod:`repro.service`).  ``CLIENTS`` real threads submit mixed-length
+workloads concurrently under distinct tenants; the service coalesces
+their pairs into shared waves.  The gate **fails** if:
+
+1. any client's service alignments differ from its own independent
+   offline ``run_alignments`` call (CIGAR, edit distance, consumed span,
+   order) — byte-identical per client, every trial;
+2. any tenant exceeds its configured in-flight pair cap;
+3. any request's latency goes unrecorded (per-tenant p50/p95/p99 must
+   cover every client).
+
+Each run appends the cross-tenant p95 request latency to
+``BENCH_pipeline.json``'s ``service_history`` so the checked-in file
+doubles as a local trend log (informational — wall-clock latency on a
+shared CI box is too noisy for a hard floor; correctness and fairness
+are the gates).
+
+Run with::
+
+    python examples/e3_service_smoke.py
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.core.config import GenASMConfig
+from repro.harness.experiments import _simulate_short_read_pairs
+from repro.parallel.executor import BatchExecutor
+from repro.service import AlignmentService
+
+CLIENTS = 4
+PAIRS_PER_CLIENT = 24
+READ_LENGTHS = (120, 250, 400, 700)  # one per client: heterogeneous lanes
+ERROR_RATE = 0.05
+SEED = 11
+TRIALS = 2
+WAVE_SIZE = 16
+MAX_INFLIGHT = 32
+LINGER_SECONDS = 0.002
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def identical(got, reference) -> bool:
+    if len(got) != len(reference):
+        return False
+    return all(
+        str(a.cigar) == str(b.cigar)
+        and a.edit_distance == b.edit_distance
+        and a.text_end == b.text_end
+        for a, b in zip(got, reference)
+    )
+
+
+def main() -> None:
+    bench = json.loads(BENCH_PATH.read_text())
+    config = GenASMConfig()
+    workloads = {
+        f"tenant-{i}": _simulate_short_read_pairs(
+            PAIRS_PER_CLIENT, READ_LENGTHS[i], ERROR_RATE, SEED + i
+        )
+        for i in range(CLIENTS)
+    }
+    total_pairs = sum(len(pairs) for pairs in workloads.values())
+
+    # Four independent offline runs — the per-client references the
+    # acceptance criterion names (also the numpy warm-up pass).
+    reference = {
+        tenant: BatchExecutor(backend="vectorized")
+        .run_alignments(pairs, config, name=f"offline-{tenant}")
+        .results
+        for tenant, pairs in workloads.items()
+    }
+    print(f"clients:              {CLIENTS} ({PAIRS_PER_CLIENT} pairs each, "
+          f"read lengths {READ_LENGTHS})")
+    print(f"total pairs:          {total_pairs}")
+
+    mismatches = 0
+    p95_ms = 0.0
+    for trial in range(TRIALS):
+        with AlignmentService(
+            config,
+            wave_size=WAVE_SIZE,
+            linger_seconds=LINGER_SECONDS,
+            max_inflight_per_tenant=MAX_INFLIGHT,
+        ) as service:
+            served = {}
+
+            def client(tenant):
+                served[tenant] = service.submit(
+                    workloads[tenant], tenant=tenant
+                ).result(timeout=120)
+
+            threads = [
+                threading.Thread(target=client, args=(tenant,))
+                for tenant in workloads
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+        stats = service.stats
+        for tenant, pairs in workloads.items():
+            if not identical(served[tenant], reference[tenant]):
+                mismatches += 1
+        p95_ms = stats.latency.summary()["p95_ms"]
+        print(f"trial {trial}:              {wall:.3f}s wall, "
+              f"{total_pairs / wall:.0f} pairs/s, waves={stats.pipeline.waves}, "
+              f"fill={stats.pipeline.wave_fill_efficiency:.3f}, "
+              f"flushes={stats.pipeline.flushes}")
+
+    over_cap = {
+        tenant: peak
+        for tenant, peak in stats.max_inflight.items()
+        if peak > MAX_INFLIGHT
+    }
+    latency = stats.latency.as_dict()
+    print(f"identical alignments: {mismatches == 0} "
+          f"({TRIALS} trials x {CLIENTS} clients)")
+    print(f"in-flight caps:       max {dict(stats.max_inflight)} "
+          f"(limit {MAX_INFLIGHT})")
+    for tenant in sorted(latency):
+        s = latency[tenant]
+        print(f"latency {tenant:>9}:  p50={s['p50_ms']:.2f}ms "
+              f"p95={s['p95_ms']:.2f}ms p99={s['p99_ms']:.2f}ms "
+              f"({s['requests']} requests)")
+
+    bench.setdefault("service_history", []).append(
+        {
+            "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "p95_ms": round(p95_ms, 3),
+            "clients": CLIENTS,
+            "pairs": total_pairs,
+            "wave_size": WAVE_SIZE,
+            "trials": TRIALS,
+        }
+    )
+    bench["service_history"] = bench["service_history"][-50:]
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+
+    assert mismatches == 0, "service results disagree with offline per-client runs"
+    assert not over_cap, f"tenants exceeded the in-flight cap: {over_cap}"
+    missing = [
+        tenant
+        for tenant in workloads
+        if latency.get(tenant, {}).get("requests", 0) < 1
+    ]
+    assert not missing, f"latency unrecorded for some tenants: {missing}"
+
+
+if __name__ == "__main__":
+    main()

@@ -48,7 +48,8 @@ Structure
 Only configurations with ``word_bits != 64`` fall back to the scalar
 aligner (the SoA layout is built from ``uint64`` words); the fallback is
 recorded in each alignment's ``metadata["vectorized"]`` and warned about
-once per engine (see :attr:`BatchAlignmentEngine.vectorizable`).
+once per process per reason (see :data:`_FALLBACK_WARNED` and
+:attr:`BatchAlignmentEngine.vectorizable`).
 """
 
 from __future__ import annotations
@@ -100,6 +101,13 @@ _CLEAR_LOW = np.array(
     [(~((1 << c) - 1)) & ((1 << 64) - 1) for c in range(MAX_LANE_BITS + 1)],
     dtype=np.uint64,
 )
+
+#: Fallback reasons already warned about in this process, keyed by the
+#: reason string.  Module-level on purpose: a service constructs engines
+#: per worker or per request, so a per-instance flag would re-emit the
+#: same ``RuntimeWarning`` endlessly for one configuration problem.
+#: Tests clear this set to re-arm the warning.
+_FALLBACK_WARNED: set = set()
 
 #: Default lane count below which the scalar per-lane traceback beats the
 #: lockstep walk (see BatchAlignmentEngine.scalar_traceback_threshold).
@@ -552,7 +560,6 @@ class BatchAlignmentEngine:
         self.max_lanes = max_lanes
         self.scheduling = scheduling
         self.scalar_traceback_threshold = scalar_traceback_threshold
-        self._fallback_warned = False
 
     @property
     def vectorizable(self) -> bool:
@@ -653,13 +660,14 @@ class BatchAlignmentEngine:
         so a scalar fallback is observable.
         """
         if not self.vectorizable:
-            if not self._fallback_warned:
-                self._fallback_warned = True
+            reason = f"word_bits={self.config.word_bits}"
+            if reason not in _FALLBACK_WARNED:
+                _FALLBACK_WARNED.add(reason)
                 warnings.warn(
                     f"BatchAlignmentEngine({self.name!r}): config with "
-                    f"word_bits={self.config.word_bits} does not fit the "
-                    "uint64 lane layout; falling back to the scalar "
-                    "per-pair aligner for every batch",
+                    f"{reason} does not fit the uint64 lane layout; "
+                    "falling back to the scalar per-pair aligner for "
+                    "every batch (warned once per process per reason)",
                     RuntimeWarning,
                     stacklevel=2,
                 )

@@ -27,6 +27,10 @@ shared     shared-memory descriptors      input order (chunk concat)  decision-w
 streaming  in-process waves, or shared-   bounded reorder buffer      heuristic scalar/vectorized
            memory descriptors with an     (in order; out-of-order     per wave
            executor                       emission opt-in)
+service    in-process waves shared        per-request input order     heuristic scalar/vectorized
+           across client requests         (futures resolve            per wave
+           (shared-memory descriptors     independently)
+           with an executor)
 ========== ============================== =========================== =============================
 """
 
@@ -46,6 +50,7 @@ __all__ = [
     "VectorizedBackend",
     "SharedBackend",
     "StreamingBackend",
+    "ServiceBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -243,6 +248,42 @@ class StreamingBackend:
         return workers
 
 
+class ServiceBackend:
+    """One-shot request through the alignment-as-a-service front-end.
+
+    Routes the batch through :class:`repro.service.AlignmentService` as a
+    single-tenant request — the same coalescing, routing and latency
+    accounting a long-lived service applies, collapsed to one client.
+    Real multi-client callers construct the service directly and keep it
+    running; this backend exists so the unified seam (and its differential
+    harness) covers the service path too.
+    """
+
+    name = "service"
+    capabilities = BackendCapabilities(
+        name="service",
+        copy_semantics=(
+            "in-process waves shared across client requests "
+            "(shared-memory descriptors with an executor)"
+        ),
+        ordering="per-request input order (futures resolve independently)",
+        traceback="heuristic scalar/vectorized per wave",
+        multiprocess=True,
+        summary="multi-tenant request coalescing over the streaming wave core",
+    )
+
+    def align_pairs(self, pairs, config, *, workers=1, chunk_size=32, mapper=None, executor=None):
+        from repro.service import AlignmentService
+
+        with AlignmentService(
+            config, workers=workers, executor=executor, linger_seconds=None
+        ) as service:
+            return service.submit(pairs).result()
+
+    def effective_workers(self, workers: int) -> int:
+        return workers
+
+
 # --------------------------------------------------------------------------- #
 _REGISTRY: Dict[str, ExecutionBackend] = {}
 
@@ -285,6 +326,7 @@ for _backend in (
     VectorizedBackend(),
     SharedBackend(),
     StreamingBackend(),
+    ServiceBackend(),
 ):
     register_backend(_backend)
 del _backend

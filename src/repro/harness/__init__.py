@@ -10,6 +10,7 @@ from repro.harness.experiments import (
     run_gpu_speed_experiment,
     run_memory_access_experiment,
     run_memory_footprint_experiment,
+    run_service_mixed_workload_experiment,
     run_short_read_throughput_experiment,
     run_streaming_throughput_experiment,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "run_batched_throughput_experiment",
     "run_streaming_throughput_experiment",
     "run_short_read_throughput_experiment",
+    "run_service_mixed_workload_experiment",
     "run_gpu_speed_experiment",
     "run_memory_footprint_experiment",
     "run_memory_access_experiment",

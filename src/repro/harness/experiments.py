@@ -31,6 +31,7 @@ __all__ = [
     "run_batched_throughput_experiment",
     "run_streaming_throughput_experiment",
     "run_short_read_throughput_experiment",
+    "run_service_mixed_workload_experiment",
     "run_gpu_speed_experiment",
     "run_memory_footprint_experiment",
     "run_memory_access_experiment",
@@ -495,6 +496,122 @@ def run_short_read_throughput_experiment(
             ),
             "serial_pairs_per_second": serial.items_per_second,
             "vectorized_pairs_per_second": vectorized.items_per_second,
+        }
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# E3s — alignment as a service: mixed multi-tenant workload vs per-client
+#       offline runs
+# --------------------------------------------------------------------------- #
+def run_service_mixed_workload_experiment(
+    *,
+    clients: int = 4,
+    pairs_per_client: int = 16,
+    read_lengths: Sequence[int] = (120, 300, 500, 900),
+    error_rate: float = 0.05,
+    seed: int = 0,
+    config: Optional[GenASMConfig] = None,
+    wave_size: int = 32,
+    max_inflight_per_tenant: int = 64,
+    linger_seconds: Optional[float] = 0.005,
+    workers: int = 1,
+) -> List[Dict[str, object]]:
+    """E3s: N concurrent simulated clients through the alignment service.
+
+    Each client is a tenant with its own workload — ``pairs_per_client``
+    simulated pairs at a client-specific read length (cycled from
+    ``read_lengths``), so the mixed stream exercises the sorted wave
+    scheduling across heterogeneous per-lane work.  The offline reference
+    aligns each client's pairs independently with the vectorized backend
+    (four separate ``run_alignments`` calls); the service run submits all
+    clients concurrently from real threads and coalesces their pairs into
+    shared waves.
+
+    The paper has no corresponding number (its harness is single-tenant),
+    so ``paper`` is NaN; the row carries ``identical_results`` (every
+    client's service alignments byte-identical to its own offline run),
+    per-tenant p50/p95/p99 request latency, and the wave/flush accounting
+    of the shared stream.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import AlignmentService
+
+    config = config or GenASMConfig()
+    tenants = [f"tenant-{i}" for i in range(clients)]
+    workloads = {
+        tenant: _simulate_short_read_pairs(
+            pairs_per_client,
+            read_lengths[i % len(read_lengths)],
+            error_rate,
+            seed + i,
+        )
+        for i, tenant in enumerate(tenants)
+    }
+
+    offline = {}
+    offline_seconds = 0.0
+    for tenant in tenants:
+        run = BatchExecutor(backend="vectorized").run_alignments(
+            workloads[tenant], config, name=f"offline-{tenant}"
+        )
+        offline[tenant] = run.results
+        offline_seconds += run.elapsed_seconds
+
+    with AlignmentService(
+        config,
+        wave_size=wave_size,
+        linger_seconds=linger_seconds,
+        max_inflight_per_tenant=max_inflight_per_tenant,
+        workers=workers,
+    ) as service:
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = {
+                tenant: pool.submit(
+                    lambda t: service.submit(workloads[t], tenant=t).result(), tenant
+                )
+                for tenant in tenants
+            }
+            served = {tenant: future.result() for tenant, future in futures.items()}
+        service_seconds = time.perf_counter() - start
+        stats = service.stats
+
+    identical = all(
+        len(served[tenant]) == len(offline[tenant])
+        and all(
+            str(a.cigar) == str(b.cigar)
+            and a.edit_distance == b.edit_distance
+            and a.text_end == b.text_end
+            for a, b in zip(served[tenant], offline[tenant])
+        )
+        for tenant in tenants
+    )
+
+    total_pairs = sum(len(pairs) for pairs in workloads.values())
+    service_pps = total_pairs / max(1e-9, service_seconds)
+    offline_pps = total_pairs / max(1e-9, offline_seconds)
+    return [
+        {
+            "id": "E3s_service_mixed_workload",
+            "metric": (
+                f"{clients}-client coalesced service throughput over "
+                "per-client offline vectorized runs"
+            ),
+            "paper": float("nan"),
+            "measured": service_pps / offline_pps,
+            "identical_results": identical,
+            "clients": clients,
+            "pairs": total_pairs,
+            "wave_size": wave_size,
+            "service_pairs_per_second": service_pps,
+            "offline_pairs_per_second": offline_pps,
+            "latency": stats.latency.as_dict(),
+            "flushes": dict(stats.pipeline.flushes),
+            "wave_fill_efficiency": stats.pipeline.wave_fill_efficiency,
+            "max_inflight": dict(stats.max_inflight),
+            "service_stats": stats.as_dict(),
         }
     ]
 

@@ -523,6 +523,15 @@ class SharedMemoryExecutor:
         genome and minimizer index are hosted in shared segments and every
         worker rebuilds an identical mapper over them, enabling
         :meth:`submit_map`.
+    shared_layouts:
+        Optional ``(genome_layout, index_layout)`` pair of already-hosted
+        segments (e.g. from a
+        :class:`~repro.service.registry.ReferenceRegistry`).  Workers
+        attach these instead of this executor hosting its own copies, so
+        many executors — and the requests they serve — share one physical
+        genome/index.  Requires ``mapper`` (for the mapper parameters);
+        the segments stay owned by whoever hosted them: :meth:`close`
+        does **not** unlink them.
     eager:
         Start the pool at construction (default starts lazily on first
         submit).
@@ -541,16 +550,23 @@ class SharedMemoryExecutor:
         config=None,
         engine_kwargs: Optional[Dict[str, object]] = None,
         mapper=None,
+        shared_layouts: Optional[Tuple[SegmentLayout, SegmentLayout]] = None,
         eager: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if shared_layouts is not None and mapper is None:
+            raise ValueError(
+                "shared_layouts requires a mapper (its parameters are "
+                "shipped alongside the pre-hosted segments)"
+            )
         from repro.core.config import GenASMConfig
 
         self.workers = workers
         self.config = config if config is not None else GenASMConfig()
         self.engine_kwargs = dict(engine_kwargs or {})
         self.mapper = mapper
+        self.shared_layouts = shared_layouts
         self._pool = None
         self._resources: List[SharedSegment] = []
         self._wave_segments: Dict[object, SharedSegment] = {}
@@ -578,10 +594,15 @@ class SharedMemoryExecutor:
             "engine_kwargs": self.engine_kwargs,
         }
         if self.mapper is not None:
-            genome_segment, genome_layout = host_genome(self.mapper.genome)
-            index_segment, index_layout = host_index(self.mapper.index)
-            self._resources += [genome_segment, index_segment]
-            self._segment_names += [genome_segment.name, index_segment.name]
+            if self.shared_layouts is not None:
+                # Pre-hosted by the caller (reference registry): attach,
+                # don't copy, don't own — close() leaves them linked.
+                genome_layout, index_layout = self.shared_layouts
+            else:
+                genome_segment, genome_layout = host_genome(self.mapper.genome)
+                index_segment, index_layout = host_index(self.mapper.index)
+                self._resources += [genome_segment, index_segment]
+                self._segment_names += [genome_segment.name, index_segment.name]
             bundle["genome"] = genome_layout
             bundle["index"] = index_layout
             bundle["mapper_params"] = {

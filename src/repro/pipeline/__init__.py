@@ -41,11 +41,12 @@ from repro.pipeline.batcher import WaveAccumulator
 from repro.pipeline.ingest import ReadRecord, stream_reads
 from repro.pipeline.mapstage import MapStage
 from repro.pipeline.pipeline import CandidateWork, MappedAlignment, StreamingPipeline
-from repro.pipeline.stats import PIPELINE_STAGES, PipelineStats
+from repro.pipeline.stats import FLUSH_CAUSES, PIPELINE_STAGES, PipelineStats
 
 __all__ = [
     "AlignStage",
     "CandidateWork",
+    "FLUSH_CAUSES",
     "MapStage",
     "MappedAlignment",
     "PIPELINE_STAGES",

@@ -117,6 +117,11 @@ class AlignStage:
     def config(self) -> GenASMConfig:
         return self.engine.config
 
+    @property
+    def pending_waves(self) -> int:
+        """Submitted waves not yet collected (the service's idle test)."""
+        return len(self._window)
+
     # ------------------------------------------------------------------ #
     def submit(self, wave: Sequence) -> None:
         """Dispatch one wave (items must expose ``pattern`` and ``text``)."""

@@ -139,12 +139,41 @@ class WaveAccumulator:
             return self._cut(partial=len(self._pending) < self.wave_size, reason="size")
         return []
 
+    def poll(self) -> List[List[object]]:
+        """Timeout check without a push; returns the flushed waves (often []).
+
+        :meth:`push` only checks the linger bound when an item arrives, so
+        on a sparse stream a partial wave can strand until the next
+        arrival.  Long-lived callers — the service front-end's dispatch
+        loop — call this between arrivals so linger expiry flushes even
+        while the stream is quiet.
+        """
+        if (
+            self._pending
+            and self.linger_seconds is not None
+            and self._oldest is not None
+            and self.clock() - self._oldest >= self.linger_seconds
+        ):
+            return self._cut(partial=True, reason="timeout")
+        return []
+
+    def oldest_age(self) -> Optional[float]:
+        """Seconds the oldest buffered item has waited (``None`` when empty).
+
+        The service dispatch loop sizes its idle sleep from this: wake just
+        as the linger bound expires rather than polling on a fixed tick.
+        """
+        if self._oldest is None:
+            return None
+        return self.clock() - self._oldest
+
     def flush(self, *, reason: str = "final") -> List[List[object]]:
         """Drain everything pending, partial wave included.
 
         ``reason`` labels the flush in the stats — ``"final"`` at end of
         stream (the default), ``"reorder"`` when the pipeline force-drains
-        to keep its bounded reorder buffer progressing.
+        to keep its bounded reorder buffer progressing, ``"idle"`` when
+        the service front-end drains a wave no admissible work can fill.
         """
         return self._cut(partial=True, reason=reason)
 

@@ -17,14 +17,23 @@ offline phases rather than as inflated per-stage numbers.
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Deque, Dict, Iterator, List
 
-__all__ = ["PIPELINE_STAGES", "PipelineStats"]
+__all__ = ["FLUSH_CAUSES", "PIPELINE_STAGES", "PipelineStats"]
 
 #: The stages every run is accounted under, in dataflow order.
 PIPELINE_STAGES = ("ingest", "map", "batch", "align", "emit")
+
+#: Every wave-flush cause a pipeline or service run can record, and the
+#: keys :attr:`PipelineStats.flushes` is seeded with.  Consumers may read
+#: ``stats.flushes[cause]`` for any cause listed here without guarding
+#: against ``KeyError`` — including causes the run never triggered.  The
+#: attribute docs on :class:`PipelineStats` must list exactly these causes
+#: (``tests/test_service.py`` asserts the two stay in sync).
+FLUSH_CAUSES = ("size", "timeout", "final", "reorder", "idle")
 
 
 @dataclass
@@ -44,7 +53,16 @@ class PipelineStats:
     wall_seconds:
         End-to-end wall time of the run.
     wave_lane_counts:
-        Lane count of every dispatched wave, in dispatch order.
+        Lane counts of the most recent dispatched waves, in dispatch
+        order, bounded to the last :attr:`wave_window` entries — a
+        long-lived service stream dispatches waves forever, so the full
+        history cannot be retained.  :attr:`full_waves` and
+        :attr:`wave_fill_efficiency` are computed from running aggregates
+        (:attr:`lanes_total`, :attr:`capacity_total`,
+        :attr:`full_wave_count`) and stay exact over the whole run
+        regardless of the window.
+    wave_window:
+        Capacity of the :attr:`wave_lane_counts` window.
     max_pending, pending_samples, pending_total:
         Accumulator queue occupancy: high-water mark plus the running
         sum/count of per-push samples (see :attr:`mean_pending`).
@@ -59,7 +77,10 @@ class PipelineStats:
     flushes:
         Wave-flush causes: ``size`` (backpressure / full wave), ``timeout``
         (linger expired), ``final`` (end of stream), ``reorder`` (forced
-        drain to keep the bounded reorder buffer progressing).
+        drain to keep the bounded reorder buffer progressing), ``idle``
+        (service drain: no admissible work left to fill the wave).  Seeded
+        with every cause in :data:`FLUSH_CAUSES`, so any documented cause
+        is readable even on runs that never triggered it.
     """
 
     wave_size: int = 0
@@ -71,7 +92,11 @@ class PipelineStats:
         default_factory=lambda: {stage: 0.0 for stage in PIPELINE_STAGES}
     )
     wall_seconds: float = 0.0
-    wave_lane_counts: List[int] = field(default_factory=list)
+    wave_window: int = 1024
+    wave_lane_counts: Deque[int] = field(default_factory=deque)
+    lanes_total: int = 0
+    capacity_total: int = 0
+    full_wave_count: int = 0
     max_pending: int = 0
     pending_samples: int = 0
     pending_total: int = 0
@@ -80,8 +105,22 @@ class PipelineStats:
     wave_merges: int = 0
     merged_lanes: int = 0
     flushes: Dict[str, int] = field(
-        default_factory=lambda: {"size": 0, "timeout": 0, "final": 0}
+        default_factory=lambda: {cause: 0 for cause in FLUSH_CAUSES}
     )
+
+    def __post_init__(self) -> None:
+        if self.wave_window < 1:
+            raise ValueError("wave_window must be at least 1")
+        seed = list(self.wave_lane_counts)
+        self.wave_lane_counts = deque(seed, maxlen=self.wave_window)
+        for lanes in seed:
+            self._aggregate_wave(lanes)
+
+    def _aggregate_wave(self, lanes: int) -> None:
+        self.lanes_total += lanes
+        self.capacity_total += max(self.wave_size, lanes)
+        if lanes == self.wave_size:
+            self.full_wave_count += 1
 
     # ------------------------------------------------------------------ #
     @contextmanager
@@ -106,7 +145,8 @@ class PipelineStats:
     def record_wave(self, lanes: int, reason: str) -> None:
         """Record one dispatched wave and why it was flushed."""
         self.waves += 1
-        self.wave_lane_counts.append(lanes)
+        self.wave_lane_counts.append(lanes)  # bounded; aggregates stay exact
+        self._aggregate_wave(lanes)
         self.flushes[reason] = self.flushes.get(reason, 0) + 1
 
     def record_merge(self, lanes: int) -> None:
@@ -124,8 +164,8 @@ class PipelineStats:
 
     @property
     def full_waves(self) -> int:
-        """Waves dispatched with every lane occupied."""
-        return sum(1 for lanes in self.wave_lane_counts if lanes == self.wave_size)
+        """Waves dispatched with every lane occupied (exact over the run)."""
+        return self.full_wave_count
 
     @property
     def wave_fill_efficiency(self) -> float:
@@ -133,12 +173,13 @@ class PipelineStats:
 
         Each wave's capacity is ``max(wave_size, lanes)``: tail-merged
         waves legitimately exceed ``wave_size`` and count as full rather
-        than pushing the ratio past 1.0.
+        than pushing the ratio past 1.0.  Computed from the running
+        aggregates, so the bounded :attr:`wave_lane_counts` window never
+        skews it.
         """
-        if not self.wave_lane_counts or self.wave_size <= 0:
+        if self.capacity_total <= 0 or self.wave_size <= 0:
             return 1.0
-        capacity = sum(max(self.wave_size, lanes) for lanes in self.wave_lane_counts)
-        return sum(self.wave_lane_counts) / capacity
+        return self.lanes_total / self.capacity_total
 
     @property
     def reads_per_second(self) -> float:

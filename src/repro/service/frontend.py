@@ -1,0 +1,477 @@
+"""Alignment as a service: many clients, shared waves, fair admission.
+
+The paper's throughput story assumes *aggregate* demand — heavy traffic
+from many independent users — yet every other entry point in this repo is
+one caller with one read set.  :class:`AlignmentService` is the missing
+front-end: clients :meth:`~AlignmentService.submit` batches of
+``(pattern, text)`` pairs (or raw reads via
+:meth:`~AlignmentService.submit_reads`) and get a
+:class:`concurrent.futures.Future`; the service coalesces pairs from
+*different* requests into shared lockstep waves, so wave fill — hence
+engine efficiency — is driven by aggregate load, not by any single
+client's batch size.
+
+Design:
+
+* **Per-request routing.**  Each admitted pair is wrapped in a
+  :class:`ServiceWork` carrying its request and position; waves flow
+  through the PR-3 :class:`~repro.pipeline.batcher.WaveAccumulator` and
+  :class:`~repro.pipeline.alignstage.AlignStage` unchanged (the wrapper
+  exposes ``pattern``/``text``), and completed lanes are routed back to
+  the submitting request's future — a wave's lanes typically resolve
+  several different clients' requests.
+* **Per-tenant fairness.**  Admission is a round-robin sweep taking one
+  pair per tenant per cycle, and each tenant is capped at
+  ``max_inflight_per_tenant`` admitted-but-unrouted pairs, so one huge
+  request cannot starve small ones — the starvation regression test
+  submits a 32-pair tenant next to a 4-pair tenant and asserts the small
+  one completes first.
+* **Single consumer.**  One :meth:`pump` drains queues into the
+  accumulator, flushes waves, and routes results.  With
+  ``autostart=True`` a daemon dispatcher thread pumps continuously; with
+  ``autostart=False`` tests (and synchronous callers) call :meth:`pump` /
+  :meth:`drain` themselves and, with an injectable ``clock``, get
+  deterministic linger-timeout behaviour.
+* **Shared references.**  :meth:`submit_reads` maps reads through a
+  :class:`~repro.service.registry.ReferenceRegistry`, so the
+  minimizer-index build is paid once per genome identity across all
+  clients; with a :class:`~repro.parallel.shm.SharedMemoryExecutor` from
+  the same registry, workers attach one hosted genome/index.
+
+Every alignment stays byte-identical to an offline
+:meth:`~repro.parallel.executor.BatchExecutor.run_alignments` call over
+the same pairs — coalescing moves scheduling, never results — which the
+service tests and ``examples/e3_service_smoke.py`` assert.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import GenASMConfig
+from repro.pipeline.alignstage import AlignStage
+from repro.pipeline.batcher import WaveAccumulator
+from repro.pipeline.stats import PipelineStats
+from repro.service.registry import ReferenceRegistry
+from repro.service.stats import ServiceStats
+
+__all__ = ["AlignmentService", "ServiceRequest", "ServiceWork"]
+
+
+class ServiceRequest:
+    """One client submission: its pairs, its future, its progress."""
+
+    __slots__ = ("id", "tenant", "pairs", "future", "submitted_at", "remaining", "results")
+
+    def __init__(
+        self,
+        request_id: int,
+        tenant: str,
+        pairs: List[Tuple[str, str]],
+        submitted_at: float,
+    ) -> None:
+        self.id = request_id
+        self.tenant = tenant
+        self.pairs = pairs
+        self.future: Future = Future()
+        # Mark running so clients cannot cancel a request whose pairs may
+        # already ride in a shared wave with other tenants' work.
+        self.future.set_running_or_notify_cancel()
+        self.submitted_at = submitted_at
+        self.remaining = len(pairs)
+        self.results: List[object] = [None] * len(pairs)
+
+
+class ServiceWork:
+    """One pair of one request, shaped like the pipeline's wave items.
+
+    Exposes ``pattern``/``text`` so :class:`WaveAccumulator` (work key)
+    and :class:`AlignStage` (dispatch) consume it unchanged, plus the
+    back-pointer the service routes the lane's alignment home with.
+    """
+
+    __slots__ = ("request", "index", "pattern", "text")
+
+    def __init__(self, request: ServiceRequest, index: int, pattern: str, text: str) -> None:
+        self.request = request
+        self.index = index
+        self.pattern = pattern
+        self.text = text
+
+
+class AlignmentService:
+    """Thread-pool alignment-as-a-service front-end over shared waves.
+
+    Parameters
+    ----------
+    config:
+        Aligner configuration shared by every request (defaults to the
+        paper's improved GenASM).
+    wave_size, max_pending, linger_seconds, scheduling:
+        Wave-coalescing policy, forwarded to the
+        :class:`WaveAccumulator`.  ``linger_seconds`` bounds how long the
+        first pair of a partial wave waits for co-tenants before the wave
+        flushes anyway; ``None`` disables the timeout (the service then
+        flushes partial waves only when no admissible work remains).
+    max_inflight_per_tenant:
+        Fairness cap: pairs one tenant may have admitted-but-unrouted at
+        once.  Defaults to ``2 * wave_size``; ``0`` disables the limit.
+    workers, align_inflight, executor:
+        Alignment execution, forwarded to :class:`AlignStage` — in-process
+        (``workers=1``), a spawn pool, or a shared-memory executor (whose
+        config must match).  A caller-provided executor stays caller-owned.
+    registry:
+        Optional :class:`ReferenceRegistry` for :meth:`submit_reads`; the
+        service builds (and then owns) one on demand when not given.
+    clock:
+        Monotonic time source for linger expiry and request latency
+        (injectable for deterministic tests).
+    autostart:
+        Start the daemon dispatcher thread at construction.  With
+        ``False`` the caller pumps: :meth:`pump`, :meth:`drain`,
+        :meth:`close` drive everything synchronously and deterministically.
+    name:
+        Engine name (appears in alignment metadata).
+    """
+
+    def __init__(
+        self,
+        config: Optional[GenASMConfig] = None,
+        *,
+        wave_size: int = 64,
+        max_pending: int = 256,
+        linger_seconds: Optional[float] = 0.01,
+        scheduling: str = "sorted",
+        merge_below: Optional[int] = None,
+        max_inflight_per_tenant: Optional[int] = None,
+        workers: int = 1,
+        align_inflight: Optional[int] = None,
+        executor=None,
+        registry: Optional[ReferenceRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        autostart: bool = True,
+        name: str = "genasm-service",
+    ) -> None:
+        if max_inflight_per_tenant is not None and max_inflight_per_tenant < 0:
+            raise ValueError("max_inflight_per_tenant must be non-negative")
+        self.max_inflight_per_tenant = (
+            2 * wave_size if max_inflight_per_tenant is None else max_inflight_per_tenant
+        )
+        self.linger_seconds = linger_seconds
+        self.stats = ServiceStats(pipeline=PipelineStats(wave_size=wave_size))
+        self._align = AlignStage(
+            config,
+            workers=workers,
+            inflight=align_inflight,
+            executor=executor,
+            scheduling=scheduling,
+            name=name,
+        )
+        engine = self._align.engine
+        self._accumulator = WaveAccumulator(
+            wave_size=wave_size,
+            max_pending=max_pending,
+            linger_seconds=linger_seconds,
+            scheduling=scheduling,
+            merge_below=merge_below,
+            work_key=lambda work: float(engine.expected_work(len(work.pattern))),
+            clock=clock,
+            stats=self.stats.pipeline,
+        )
+        self._clock = clock
+        self._registry = registry
+        self._owns_registry = False
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queues: Dict[str, Deque[ServiceWork]] = {}
+        self._ring: List[str] = []  # tenants with queued work, admission order
+        self._inflight: Dict[str, int] = {}
+        self._ids = itertools.count()
+        self._open_requests = 0
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> GenASMConfig:
+        return self._align.config
+
+    @property
+    def registry(self) -> ReferenceRegistry:
+        """The reference registry (built and owned on first use)."""
+        if self._registry is None:
+            self._registry = ReferenceRegistry()
+            self._owns_registry = True
+        return self._registry
+
+    def start(self) -> None:
+        """Start the daemon dispatcher thread (idempotent)."""
+        if self._thread is not None:
+            return
+        if self._closed:
+            raise RuntimeError("service already closed")
+        self._thread = threading.Thread(
+            target=self._loop, name="alignment-service-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, pairs: Sequence[Tuple[str, str]], *, tenant: str = "default"
+    ) -> Future:
+        """Queue one request of (pattern, text) pairs; returns its future.
+
+        The future resolves to the request's alignments in **input pair
+        order** (each pair's result is independent of which shared wave
+        carried it, so results are byte-identical to an offline run over
+        the same pairs).  Thread-safe: any number of client threads may
+        submit concurrently, under any tenant label.
+        """
+        pairs = [(pattern, text) for pattern, text in pairs]
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("service already closed")
+            request = ServiceRequest(next(self._ids), tenant, pairs, self._clock())
+            self.stats.record_submit(tenant, len(pairs))
+            if pairs:
+                queue = self._queues.get(tenant)
+                if queue is None:
+                    queue = self._queues[tenant] = deque()
+                for index, (pattern, text) in enumerate(pairs):
+                    queue.append(ServiceWork(request, index, pattern, text))
+                if tenant not in self._ring:
+                    self._ring.append(tenant)
+                self._open_requests += 1
+                self._wake.notify_all()
+        if not pairs:
+            self.stats.record_request_done(tenant, request.id, 0.0, 0)
+            request.future.set_result([])
+        return request.future
+
+    def submit_reads(
+        self,
+        reads: Sequence[Tuple[str, str]],
+        *,
+        genome,
+        tenant: str = "default",
+        mapper_params: Optional[Dict[str, object]] = None,
+    ) -> Future:
+        """Map ``(name, sequence)`` reads and queue their candidate pairs.
+
+        Mapping runs in the calling thread against the registry's cached
+        mapper for ``genome`` (built once per genome identity across all
+        clients).  The future resolves to ``(candidate, alignment)`` pairs
+        in mapper order.
+        """
+        mapper = self.registry.mapper(genome, **(mapper_params or {}))
+        candidates: List[object] = []
+        pairs: List[Tuple[str, str]] = []
+        for name, sequence in reads:
+            for candidate in mapper.map_sequence(name, sequence):
+                pattern, text = mapper.candidate_region_sequence(candidate, sequence)
+                candidates.append(candidate)
+                pairs.append((pattern, text))
+        inner = self.submit(pairs, tenant=tenant)
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()
+
+        def _resolve(done: Future) -> None:
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+            else:
+                outer.set_result(list(zip(candidates, done.result())))
+
+        inner.add_done_callback(_resolve)
+        return outer
+
+    # ------------------------------------------------------------------ #
+    # The single consumer
+    # ------------------------------------------------------------------ #
+    def pump(self, *, block: bool = False) -> bool:
+        """One dispatch cycle: admit, flush, submit, collect, route.
+
+        The single-consumer entry point — the dispatcher thread's loop
+        body, or called directly in ``autostart=False`` mode.  Returns
+        whether any progress was made (pairs admitted, waves dispatched,
+        or results routed).  ``block=True`` waits for every in-flight
+        wave before returning (the drain path).
+        """
+        with self._wake:
+            admitted = self._admit_locked()
+        waves: List[List[ServiceWork]] = []
+        for work in admitted:
+            waves.extend(self._accumulator.push(work))
+        waves.extend(self._accumulator.poll())
+        if not admitted and not waves and len(self._accumulator):
+            # Nothing new joined and the linger policy didn't fire.  When
+            # no admissible work could ever fill this partial wave (and the
+            # align stage is idle, so nothing in flight will free tenant
+            # capacity either), holding it any longer is a deadlock, not
+            # patience: flush it.  With a linger timeout configured, leave
+            # liveness to the timeout so late arrivals can still join.
+            with self._wake:
+                stuck = (
+                    (self._closed or self.linger_seconds is None)
+                    and self._align.pending_waves == 0
+                    and not self._admissible_locked()
+                )
+                reason = "final" if self._closed else "idle"
+            if stuck:
+                waves.extend(self._accumulator.flush(reason=reason))
+        for wave in waves:
+            self._align.submit(wave)
+        completed = self._align.collect(block=block)
+        if completed:
+            self._route(completed)
+        return bool(admitted or waves or completed)
+
+    def _admit_locked(self) -> List[ServiceWork]:
+        """Round-robin sweep: one pair per tenant per cycle, capped.
+
+        Tenants at their in-flight limit are skipped (their queued work
+        stays put until routing frees capacity); tenants with emptied
+        queues leave the ring until their next submit.  At most
+        ``max_pending`` pairs are admitted per pump so one cycle never
+        outruns the accumulator's own backpressure bound.
+        """
+        admitted: List[ServiceWork] = []
+        budget = self._accumulator.max_pending
+        limit = self.max_inflight_per_tenant
+        while budget > 0 and self._ring:
+            progress = False
+            for tenant in list(self._ring):
+                if budget <= 0:
+                    break
+                queue = self._queues.get(tenant)
+                if not queue:
+                    self._ring.remove(tenant)
+                    continue
+                inflight = self._inflight.get(tenant, 0)
+                if limit and inflight >= limit:
+                    continue
+                work = queue.popleft()
+                self._inflight[tenant] = inflight + 1
+                self.stats.record_admitted(tenant, inflight + 1)
+                admitted.append(work)
+                budget -= 1
+                progress = True
+            if not progress:
+                break
+        return admitted
+
+    def _admissible_locked(self) -> bool:
+        """Whether any queued pair could be admitted right now."""
+        limit = self.max_inflight_per_tenant
+        return any(
+            queue and not (limit and self._inflight.get(tenant, 0) >= limit)
+            for tenant, queue in self._queues.items()
+        )
+
+    def _route(self, completed: List[Tuple[List[ServiceWork], List[object]]]) -> None:
+        """Hand each finished lane back to its request; resolve futures."""
+        now = self._clock()
+        finished: List[ServiceRequest] = []
+        with self._wake:
+            for wave, alignments in completed:
+                for work, alignment in zip(wave, alignments):
+                    request = work.request
+                    request.results[work.index] = alignment
+                    request.remaining -= 1
+                    self._inflight[request.tenant] -= 1
+                    if request.remaining == 0:
+                        finished.append(request)
+                        self._open_requests -= 1
+            if finished:
+                self._wake.notify_all()
+        for request in finished:
+            self.stats.record_request_done(
+                request.tenant, request.id, now - request.submitted_at, len(request.pairs)
+            )
+            request.future.set_result(request.results)
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher thread
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while True:
+            progress = self.pump()
+            if progress:
+                continue
+            with self._wake:
+                if self._closed and self._open_requests == 0:
+                    return
+                self._wake.wait(self._wait_timeout_locked())
+
+    def _wait_timeout_locked(self) -> float:
+        """Idle sleep sized to the nearest thing worth waking for."""
+        if self._align.pending_waves:
+            return 0.002  # results land soon; poll tightly
+        age = self._accumulator.oldest_age()
+        if age is not None and self.linger_seconds is not None:
+            # Wake just as the partial wave's linger bound expires.
+            return max(0.001, self.linger_seconds - age)
+        return 0.05
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self) -> None:
+        """Block until every accepted request's future has resolved."""
+        if self._thread is not None:
+            with self._wake:
+                self._wake.wait_for(lambda: self._open_requests == 0)
+            return
+        while True:
+            with self._wake:
+                if self._open_requests == 0:
+                    return
+            if not self.pump(block=True):
+                # Idle with a lingering partial wave (real clock, timeout
+                # not yet expired): a drain wants it now.
+                waves = self._accumulator.flush(reason="idle")
+                for wave in waves:
+                    self._align.submit(wave)
+                if not waves:
+                    raise RuntimeError(
+                        "service drain stalled with unresolved requests"
+                    )
+
+    def close(self) -> None:
+        """Stop accepting, drain everything, shut execution down (idempotent).
+
+        A caller-provided ``executor`` or ``registry`` stays caller-owned
+        and running; resources the service built itself are torn down.
+        """
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        while True:
+            with self._wake:
+                if self._open_requests == 0:
+                    break
+            if not self.pump(block=True):
+                raise RuntimeError("service close stalled with unresolved requests")
+        self._align.close()
+        if self._owns_registry and self._registry is not None:
+            self._registry.close()
+            self._registry = None
+            self._owns_registry = False
+
+    def __enter__(self) -> "AlignmentService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

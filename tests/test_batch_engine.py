@@ -127,8 +127,11 @@ class TestVectorizedEquivalence:
 
     def test_word_bits_config_falls_back_with_one_warning(self, rng):
         # The only remaining scalar fallback is word_bits != 64; it must be
-        # observable (metadata + a one-time RuntimeWarning per engine), and
-        # still produce the scalar path's exact results.
+        # observable (metadata + a RuntimeWarning deduped per process per
+        # reason), and still produce the scalar path's exact results.
+        from repro.batch import engine as engine_module
+
+        engine_module._FALLBACK_WARNED.clear()  # re-arm: other tests may have fired it
         config = GenASMConfig(word_bits=32)
         engine = BatchAlignmentEngine(config)
         assert not engine.vectorizable
@@ -141,10 +144,14 @@ class TestVectorizedEquivalence:
         for alignment in batch:
             assert alignment.metadata["vectorized"] is False
             assert alignment.metadata["words_per_lane"] == 1
-        # Second batch through the same engine: no further warning.
         with warnings.catch_warnings():
             warnings.simplefilter("error")
+            # Second batch through the same engine: no further warning.
             engine.align_pairs(pairs)
+            # A *fresh* engine with the same fallback reason must not
+            # re-warn either: services build engines per worker/request,
+            # and one config problem should warn once per process.
+            BatchAlignmentEngine(GenASMConfig(word_bits=32)).align_pairs(pairs)
 
     def test_vectorized_metadata_recorded_on_vectorized_path(self, rng):
         pairs = _random_pairs(rng, [(70, 5)])

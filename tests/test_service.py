@@ -1,0 +1,477 @@
+"""Tests for the alignment-as-a-service front-end and the PR-7 bugfixes.
+
+Covers the three streaming-stats/warning bugfixes (seeded flush causes in
+sync with the docs, bounded wave-lane window with exact aggregates,
+module-level fallback-warning dedupe), the accumulator's push-free timeout
+poll, and the service itself: byte-identical results versus offline runs,
+round-robin fairness and per-tenant in-flight caps, deterministic
+linger-timeout flushes under an injected clock, per-tenant latency
+percentiles, the cached reference registry, and the ``service`` backend on
+the unified execution seam.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import warnings
+
+import pytest
+
+from repro.core.config import GenASMConfig
+from repro.harness.experiments import _simulate_short_read_pairs
+from repro.parallel.executor import BatchExecutor
+from repro.pipeline import FLUSH_CAUSES, PipelineStats, WaveAccumulator
+from repro.service import (
+    AlignmentService,
+    LatencyStats,
+    ReferenceRegistry,
+    genome_key,
+    percentile,
+)
+
+CONFIG = GenASMConfig()
+
+
+def offline_alignments(pairs, config=CONFIG):
+    """The per-client reference: one independent vectorized offline run."""
+    return BatchExecutor(backend="vectorized").run_alignments(pairs, config).results
+
+
+def assert_same_alignments(reference, got, context=""):
+    assert len(reference) == len(got), context
+    for want, have in zip(reference, got):
+        assert str(want.cigar) == str(have.cigar), context
+        assert want.edit_distance == have.edit_distance, context
+        assert want.text_end == have.text_end, context
+
+
+def run_sync(service, *futures):
+    """Pump an ``autostart=False`` service until the given futures resolve."""
+    for _ in range(10_000):
+        if all(future.done() for future in futures):
+            return
+        service.pump(block=True)
+    raise AssertionError("service made no progress")
+
+
+# --------------------------------------------------------------------------- #
+# Satellite bugfixes
+# --------------------------------------------------------------------------- #
+class TestStatsBugfixes:
+    def test_flushes_seeded_with_every_documented_cause(self):
+        stats = PipelineStats()
+        assert set(stats.flushes) == set(FLUSH_CAUSES)
+        # The original bug: reading a documented-but-untriggered cause
+        # (e.g. "reorder" on a run without forced drains) raised KeyError.
+        for cause in FLUSH_CAUSES:
+            assert stats.flushes[cause] == 0
+
+    def test_flushes_docstring_and_default_stay_in_sync(self):
+        # Extract the causes named in the ``flushes`` attribute docs:
+        # every ``cause`` token between "flushes:" and the next attribute.
+        doc = PipelineStats.__doc__
+        match = re.search(r"\n    flushes:\n(.*?)(?:\n    \S|\Z)", doc, re.DOTALL)
+        assert match, "PipelineStats docstring lost its flushes section"
+        documented = set(re.findall(r"``(\w+)``", match.group(1)))
+        documented.discard("KeyError")
+        assert documented == set(FLUSH_CAUSES)
+
+    def test_wave_lane_counts_window_is_bounded(self):
+        stats = PipelineStats(wave_size=4, wave_window=8)
+        for _ in range(100):
+            stats.record_wave(4, "size")
+        for _ in range(50):
+            stats.record_wave(2, "timeout")
+        assert len(stats.wave_lane_counts) == 8
+        # Running aggregates stay exact over the whole run regardless of
+        # the window: 100 full waves of 4 lanes + 50 partial waves of 2.
+        assert stats.waves == 150
+        assert stats.full_waves == 100
+        assert stats.wave_fill_efficiency == pytest.approx(
+            (100 * 4 + 50 * 2) / (150 * 4)
+        )
+
+    def test_wave_window_validation_and_seeding(self):
+        with pytest.raises(ValueError, match="wave_window"):
+            PipelineStats(wave_window=0)
+        # Seeding wave_lane_counts at construction aggregates the seeds.
+        stats = PipelineStats(wave_size=2, wave_lane_counts=[2, 1])
+        assert stats.full_waves == 1
+        assert stats.lanes_total == 3
+
+    def test_merged_wave_counts_as_full_capacity(self):
+        stats = PipelineStats(wave_size=4)
+        stats.record_wave(6, "final")  # tail-merged wave, wider than wave_size
+        assert stats.wave_fill_efficiency == 1.0
+
+
+class TestFallbackWarningDedupe:
+    def test_fresh_engines_share_one_warning_per_reason(self):
+        from repro.batch import engine as engine_module
+        from repro.batch.engine import BatchAlignmentEngine
+
+        engine_module._FALLBACK_WARNED.clear()
+        pairs = [("ACGTACGT", "ACGAACGT")]
+        with pytest.warns(RuntimeWarning, match="word_bits=32"):
+            BatchAlignmentEngine(GenASMConfig(word_bits=32)).align_pairs(pairs)
+        # The service pattern: a new engine per request, same config — the
+        # per-instance flag re-warned here before the module-level dedupe.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            BatchAlignmentEngine(GenASMConfig(word_bits=32)).align_pairs(pairs)
+        # A *different* fallback reason still warns.
+        with pytest.warns(RuntimeWarning, match="word_bits=16"):
+            BatchAlignmentEngine(GenASMConfig(word_bits=16)).align_pairs(pairs)
+        engine_module._FALLBACK_WARNED.clear()
+
+
+class TestAccumulatorPoll:
+    def _accumulator(self, linger, now):
+        return WaveAccumulator(
+            wave_size=4, max_pending=64, linger_seconds=linger, clock=lambda: now[0]
+        )
+
+    def test_poll_flushes_expired_linger_without_a_push(self):
+        now = [0.0]
+        accumulator = self._accumulator(0.5, now)
+        accumulator.push("a")
+        accumulator.push("b")
+        assert accumulator.poll() == []  # not yet expired
+        assert accumulator.oldest_age() == pytest.approx(0.0)
+        now[0] = 0.6
+        assert accumulator.oldest_age() == pytest.approx(0.6)
+        waves = accumulator.poll()
+        assert waves == [["a", "b"]]
+        assert len(accumulator) == 0
+        assert accumulator.oldest_age() is None
+
+    def test_poll_is_a_noop_without_linger_or_items(self):
+        now = [0.0]
+        assert self._accumulator(None, now).poll() == []
+        accumulator = self._accumulator(None, now)
+        accumulator.push("a")
+        now[0] = 1e9
+        assert accumulator.poll() == []  # no linger configured: never expires
+        empty = self._accumulator(0.1, now)
+        assert empty.poll() == []
+
+    def test_poll_records_timeout_flush_cause(self):
+        now = [0.0]
+        stats = PipelineStats(wave_size=4)
+        accumulator = WaveAccumulator(
+            wave_size=4, linger_seconds=0.5, clock=lambda: now[0], stats=stats
+        )
+        accumulator.push("a")
+        now[0] = 1.0
+        accumulator.poll()
+        assert stats.flushes["timeout"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# The service front-end
+# --------------------------------------------------------------------------- #
+class TestAlignmentService:
+    def test_single_request_matches_offline(self):
+        pairs = _simulate_short_read_pairs(10, 180, 0.05, 1)
+        with AlignmentService(
+            CONFIG, wave_size=4, linger_seconds=None, autostart=False
+        ) as service:
+            future = service.submit(pairs, tenant="solo")
+            run_sync(service, future)
+            assert_same_alignments(offline_alignments(pairs), future.result())
+        assert service.stats.requests_completed == 1
+        assert service.stats.pairs_completed == len(pairs)
+
+    def test_four_tenants_coalesce_and_stay_byte_identical(self):
+        workloads = {
+            f"tenant-{i}": _simulate_short_read_pairs(5 + i, 100 + 60 * i, 0.05, i)
+            for i in range(4)
+        }
+        with AlignmentService(
+            CONFIG, wave_size=8, linger_seconds=None, autostart=False
+        ) as service:
+            futures = {
+                tenant: service.submit(pairs, tenant=tenant)
+                for tenant, pairs in workloads.items()
+            }
+            run_sync(service, *futures.values())
+            for tenant, pairs in workloads.items():
+                assert_same_alignments(
+                    offline_alignments(pairs), futures[tenant].result(), tenant
+                )
+        # The waves really were shared: fewer waves than requests' worth of
+        # per-tenant partial waves (26 pairs / wave_size 8 → ~4 waves).
+        assert service.stats.pipeline.waves < sum(
+            -(-len(p) // 8) * 2 for p in workloads.values()
+        )
+        assert set(service.stats.latency.tenants()) == set(workloads)
+
+    def test_round_robin_admission_prevents_starvation(self):
+        # Tenant "big" queues 32 pairs before "small" queues 4; with fair
+        # one-pair-per-tenant sweeps and a tight in-flight cap, the small
+        # request must complete strictly before the big one.
+        big = _simulate_short_read_pairs(32, 80, 0.05, 7)
+        small = _simulate_short_read_pairs(4, 80, 0.05, 8)
+        with AlignmentService(
+            CONFIG,
+            wave_size=4,
+            linger_seconds=None,
+            max_inflight_per_tenant=4,
+            autostart=False,
+        ) as service:
+            big_future = service.submit(big, tenant="big")
+            small_future = service.submit(small, tenant="small")
+            run_sync(service, big_future, small_future)
+            assert_same_alignments(offline_alignments(big), big_future.result())
+            assert_same_alignments(offline_alignments(small), small_future.result())
+        order = list(service.stats.completion_order)
+        assert order.index(("small", 1)) < order.index(("big", 0))
+
+    def test_per_tenant_inflight_cap_is_honored(self):
+        pairs = _simulate_short_read_pairs(24, 90, 0.05, 3)
+        with AlignmentService(
+            CONFIG,
+            wave_size=4,
+            linger_seconds=None,
+            max_inflight_per_tenant=6,
+            autostart=False,
+        ) as service:
+            future = service.submit(pairs, tenant="capped")
+            run_sync(service, future)
+        assert service.stats.max_inflight["capped"] <= 6
+        assert service.stats.pairs_admitted == len(pairs)
+
+    def test_linger_timeout_flush_is_deterministic_with_injected_clock(self):
+        now = [0.0]
+        pairs = _simulate_short_read_pairs(2, 100, 0.05, 4)
+        with AlignmentService(
+            CONFIG,
+            wave_size=64,
+            linger_seconds=5.0,
+            clock=lambda: now[0],
+            autostart=False,
+        ) as service:
+            future = service.submit(pairs, tenant="slow")
+            service.pump()  # admits both pairs; wave far from full, linger live
+            assert not future.done()
+            assert service.stats.pipeline.waves == 0
+            now[0] = 5.0  # linger expires with no new arrivals
+            service.pump()
+            assert future.done()
+            assert service.stats.pipeline.flushes["timeout"] == 1
+            assert_same_alignments(offline_alignments(pairs), future.result())
+            # Latency was measured on the injected clock: exactly 5s.
+            assert service.stats.latency.summary("slow")["p50_ms"] == pytest.approx(
+                5000.0
+            )
+
+    def test_latency_percentiles_recorded_per_tenant(self):
+        with AlignmentService(
+            CONFIG, wave_size=4, linger_seconds=None, autostart=False
+        ) as service:
+            futures = [
+                service.submit(_simulate_short_read_pairs(3, 80, 0.05, i), tenant="t")
+                for i in range(5)
+            ]
+            run_sync(service, *futures)
+        summary = service.stats.latency.summary("t")
+        assert summary["requests"] == 5
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"):
+            assert summary[key] >= 0.0
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+        assert "t" in service.stats.latency.as_dict()
+        assert "*" in service.stats.latency.as_dict()
+
+    def test_empty_request_resolves_immediately(self):
+        with AlignmentService(CONFIG, autostart=False) as service:
+            future = service.submit([], tenant="empty")
+            assert future.done()
+            assert future.result() == []
+        assert service.stats.requests_completed == 1
+
+    def test_submit_after_close_raises(self):
+        service = AlignmentService(CONFIG, autostart=False)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit([("ACGT", "ACGT")])
+
+    def test_threaded_dispatch_end_to_end(self):
+        # The autostart daemon loop: concurrent client threads, real clock.
+        workloads = [
+            _simulate_short_read_pairs(6, 120 + 80 * i, 0.05, 20 + i) for i in range(3)
+        ]
+        results = [None] * len(workloads)
+        with AlignmentService(CONFIG, wave_size=8, linger_seconds=0.005) as service:
+
+            def client(slot):
+                results[slot] = service.submit(
+                    workloads[slot], tenant=f"client-{slot}"
+                ).result(timeout=60)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(len(workloads))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for slot, pairs in enumerate(workloads):
+            assert_same_alignments(offline_alignments(pairs), results[slot], str(slot))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight_per_tenant"):
+            AlignmentService(CONFIG, max_inflight_per_tenant=-1, autostart=False)
+
+
+class TestServiceBackend:
+    def test_registered_and_byte_identical(self):
+        from repro.execution import available_backends, get_backend
+
+        assert "service" in available_backends()
+        pairs = _simulate_short_read_pairs(6, 150, 0.05, 9)
+        got = get_backend("service").align_pairs(pairs, CONFIG)
+        assert_same_alignments(offline_alignments(pairs), got)
+
+    def test_capability_row_present(self):
+        from repro.execution import capability_matrix
+
+        rows = {caps.name: caps for caps in capability_matrix()}
+        assert rows["service"].multiprocess is True
+        assert "request" in rows["service"].ordering
+
+
+# --------------------------------------------------------------------------- #
+# Reference registry
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def workload():
+    from repro.harness.dataset import build_paper_dataset
+
+    return build_paper_dataset(read_count=6, read_length=400, seed=3, max_pairs=None)
+
+
+class TestReferenceRegistry:
+    def test_genome_key_is_content_identity(self, workload):
+        class Clone:
+            chromosomes = dict(workload.genome.chromosomes)
+
+        assert genome_key(workload.genome) == genome_key(Clone())
+
+        class Other:
+            chromosomes = {"chrX": "ACGT"}
+
+        assert genome_key(workload.genome) != genome_key(Other())
+
+    def test_mapper_cached_by_genome_identity(self, workload):
+        with ReferenceRegistry() as registry:
+            first = registry.mapper(workload.genome, all_chains=True)
+
+            class Clone:
+                chromosomes = dict(workload.genome.chromosomes)
+
+            assert registry.mapper(Clone(), all_chains=True) is first
+            # Different mapper parameters are a different cache entry.
+            assert registry.mapper(workload.genome, all_chains=False) is not first
+            assert registry.stats["mapper_builds"] == 2
+            assert registry.stats["mapper_hits"] == 1
+
+    def test_hosted_layouts_cached_and_unlinked_on_close(self, workload):
+        from multiprocessing import shared_memory
+
+        registry = ReferenceRegistry()
+        genome_layout, index_layout = registry.hosted_layouts(
+            workload.genome, all_chains=True
+        )
+        again = registry.hosted_layouts(workload.genome, all_chains=True)
+        assert again == (genome_layout, index_layout)
+        assert registry.stats["host_builds"] == 1
+        assert registry.stats["host_hits"] == 1
+        names = registry.hosted_segment_names()
+        assert len(names) == 2
+        registry.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        with pytest.raises(RuntimeError, match="closed"):
+            registry.mapper(workload.genome)
+
+    def test_shared_layouts_requires_mapper(self, workload):
+        from repro.parallel.shm import SharedMemoryExecutor
+
+        with ReferenceRegistry() as registry:
+            layouts = registry.hosted_layouts(workload.genome, all_chains=True)
+            with pytest.raises(ValueError, match="mapper"):
+                SharedMemoryExecutor(1, shared_layouts=layouts)
+
+    def test_executor_borrows_registry_segments(self, workload):
+        from multiprocessing import shared_memory
+
+        with ReferenceRegistry() as registry:
+            executor = registry.executor(
+                workload.genome, workers=1, config=CONFIG, all_chains=True
+            )
+            assert (
+                registry.executor(
+                    workload.genome, workers=1, config=CONFIG, all_chains=True
+                )
+                is executor
+            )
+            pairs = _simulate_short_read_pairs(4, 120, 0.05, 11)
+            assert_same_alignments(
+                offline_alignments(pairs), executor.run_alignments(pairs)
+            )
+            names = registry.hosted_segment_names()
+            executor.close()
+            # The registry's segments survive the borrowing executor.
+            for name in names:
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()
+            # The executor never hosted its own genome/index copies.
+            assert not any(name in executor.segment_names() for name in names)
+
+
+# --------------------------------------------------------------------------- #
+# Latency stats primitives and the E3s experiment
+# --------------------------------------------------------------------------- #
+class TestLatencyPrimitives:
+    def test_percentile_nearest_rank(self):
+        samples = [0.01, 0.02, 0.03, 0.04, 0.05]
+        assert percentile(samples, 50) == 0.03
+        assert percentile(samples, 95) == 0.05
+        assert percentile(samples, 0) == 0.01
+        assert percentile([], 95) == 0.0
+        with pytest.raises(ValueError):
+            percentile(samples, 101)
+
+    def test_latency_window_bounded_with_exact_aggregates(self):
+        stats = LatencyStats(window=4)
+        for i in range(10):
+            stats.record("t", float(i))
+        assert stats.count("t") == 10
+        summary = stats.summary("t")
+        assert summary["requests"] == 10
+        assert summary["max_ms"] == pytest.approx(9000.0)
+        assert summary["mean_ms"] == pytest.approx(4500.0)
+        # Percentiles describe the bounded recent window (6..9).
+        assert summary["p50_ms"] == pytest.approx(7000.0)
+
+
+class TestServiceExperiment:
+    def test_e3s_mixed_workload_row(self):
+        from repro.harness.experiments import run_service_mixed_workload_experiment
+
+        rows = run_service_mixed_workload_experiment(
+            clients=3, pairs_per_client=4, wave_size=8, linger_seconds=0.002
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["id"] == "E3s_service_mixed_workload"
+        assert row["identical_results"] is True
+        assert row["paper"] != row["paper"]  # NaN
+        assert row["clients"] == 3
+        latency = row["latency"]
+        assert set(latency) == {"tenant-0", "tenant-1", "tenant-2", "*"}
+        for summary in latency.values():
+            assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
