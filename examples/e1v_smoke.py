@@ -12,10 +12,14 @@ Run with::
     python examples/e1v_smoke.py
 """
 
+import json
 import random
 import time
+from pathlib import Path
 
 from repro import BatchAlignmentEngine, GenASMAligner, GenASMConfig
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 ALPHABET = "ACGT"
 #: Mixed window counts are the point: 150 bp reads take 3 windows, 1.2 kb
@@ -65,18 +69,53 @@ def main() -> None:
     sorted_efficiency = chunked.scheduling_stats(pairs)["efficiency"]
     fifo_efficiency = fifo.scheduling_stats(pairs)["efficiency"]
 
+    tb = engine.traceback_stats
+    tb_steps_per_second = tb["walk_steps"] / max(1e-9, tb["seconds"])
+
     speedup = scalar_seconds / max(1e-9, vectorized_seconds)
     print(f"pairs:                 {len(pairs)} (lengths {sorted(set(LENGTH_CYCLE))})")
     print(f"scalar:                {len(pairs) / scalar_seconds:8.1f} pairs/s")
     print(f"vectorized:            {len(pairs) / vectorized_seconds:8.1f} pairs/s")
     print(f"speedup:               {speedup:8.2f}x")
     print(f"lockstep efficiency:   sorted={sorted_efficiency:.3f} fifo={fifo_efficiency:.3f}")
+    print(f"traceback:             kernel={engine.kernel_backend} "
+          f"walk_steps={tb['walk_steps']} saved={tb['steps_saved']} "
+          f"({tb_steps_per_second:,.0f} walk steps/s)")
     print(f"identical alignments:  True ({len(pairs)} pairs)")
     # Correctness gates the build; the timing comparison is advisory only
     # (shared CI runners are too noisy for a hard wall-clock assertion).
     if speedup <= 1.0:
         print(f"WARNING: vectorized speedup {speedup:.2f}x <= 1.0 on this run")
     assert sorted_efficiency >= fifo_efficiency
+    # Skip-ahead gate: mutated-copy reads carry long match runs, so the
+    # lockstep walk must have skipped per-step iterations.
+    assert tb["steps_saved"] > 0, "match-run skip-ahead saved no walk steps"
+
+    append_traceback_bench_row(
+        source="e1v_smoke",
+        walk_steps=tb["walk_steps"],
+        steps_saved=tb["steps_saved"],
+        steps_per_second=tb_steps_per_second,
+        kernel_backend=engine.kernel_backend,
+        pairs=len(pairs),
+    )
+
+
+def append_traceback_bench_row(**row) -> None:
+    """Append a traceback-throughput row to ``BENCH_pipeline.json``.
+
+    Informational trend (correctness gates the build); bounded history,
+    same contract as the smoke's streaming and service histories.
+    """
+    bench = json.loads(BENCH_PATH.read_text())
+    entry = {"date": time.strftime("%Y-%m-%dT%H:%M:%S")}
+    entry.update(row)
+    entry["steps_per_second"] = round(entry["steps_per_second"], 1)
+    bench.setdefault("traceback_history", []).append(entry)
+    bench["traceback_history"] = bench["traceback_history"][-50:]
+    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"appended traceback row: {BENCH_PATH.name} "
+          f"({row['source']}, {row['steps_per_second']:,.0f} walk steps/s)")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,8 @@ import sys
 
 from repro.harness.experiments import run_short_read_throughput_experiment
 
+from e1v_smoke import append_traceback_bench_row
+
 #: 128+ lanes is where the lockstep engine's wave amortisation pays off —
 #: the regime the ROADMAP's multi-word item targets.
 READ_COUNT = 160
@@ -40,12 +42,38 @@ def main() -> None:
     print(f"speedup:               {row['measured']:8.2f}x")
     print(f"identical alignments:  {row['identical_results']} ({row['pairs']} pairs)")
     print(f"all lanes vectorized:  {row['all_lanes_vectorized']}")
+    print(f"traceback skip-ahead:  walk_steps={row['tb_walk_steps']} "
+          f"saved={row['tb_walk_steps_saved']} runs={row['tb_match_runs']}")
 
     # Correctness gates the build: equivalence, no silent scalar fallback,
-    # and the expected 3-word lane width.
+    # the expected 3-word lane width, and the match-run skip-ahead actually
+    # saving walk steps on a short-read workload (~4% error rate means long
+    # diagonal match runs dominate the traceback).
     assert row["identical_results"], "vectorized backend disagrees with scalar"
     assert row["all_lanes_vectorized"], "short-read batch fell back to scalar"
     assert row["words_per_lane"] == 3, row["words_per_lane"]
+    assert row["tb_walk_steps_saved"] > 0, "skip-ahead saved no walk steps"
+
+    # Accurate traceback steps/s needs the engine's own timer (the
+    # experiment row only times whole batches), so re-run the same
+    # workload through a direct engine and publish the bench row.
+    from repro.batch import BatchAlignmentEngine
+    from repro.core.config import GenASMConfig
+    from repro.harness.experiments import _simulate_short_read_pairs
+
+    engine = BatchAlignmentEngine(GenASMConfig.short_read(READ_LENGTH))
+    engine.align_pairs(
+        _simulate_short_read_pairs(READ_COUNT, READ_LENGTH, 0.04, 7)
+    )
+    tb = engine.traceback_stats
+    append_traceback_bench_row(
+        source="e2_smoke",
+        walk_steps=tb["walk_steps"],
+        steps_saved=tb["steps_saved"],
+        steps_per_second=tb["walk_steps"] / max(1e-9, tb["seconds"]),
+        kernel_backend=engine.kernel_backend,
+        pairs=READ_COUNT,
+    )
 
     # `paper` is NaN by convention (no corresponding paper number); strict
     # JSON has no NaN literal, so null it in the published artifact.

@@ -55,12 +55,19 @@ once per process per reason (see :data:`_FALLBACK_WARNED` and
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.batch.kernels import (
+    FALLBACK_WARNED as _FALLBACK_WARNED,
+    KernelSet,
+    get_kernels,
+    resolve_kernel_backend,
+)
 from repro.batch.soa import MAX_LANE_BITS, LaneJob, SoAWave, lane_words, lockstep_stats
 from repro.batch.traceback import (
     OPS_BY_CODE,
@@ -102,12 +109,10 @@ _CLEAR_LOW = np.array(
     dtype=np.uint64,
 )
 
-#: Fallback reasons already warned about in this process, keyed by the
-#: reason string.  Module-level on purpose: a service constructs engines
-#: per worker or per request, so a per-instance flag would re-emit the
-#: same ``RuntimeWarning`` endlessly for one configuration problem.
-#: Tests clear this set to re-arm the warning.
-_FALLBACK_WARNED: set = set()
+# _FALLBACK_WARNED (imported above) is the process-wide fallback-warning
+# dedupe set, now owned by repro.batch.kernels so the kernel seam shares
+# it; it is re-exported here under its historical name because tests and
+# services clear it to re-arm warnings.
 
 #: Default lane count below which the scalar per-lane traceback beats the
 #: lockstep walk (see BatchAlignmentEngine.scalar_traceback_threshold).
@@ -294,6 +299,7 @@ def run_dc_wave_state(
     *,
     entry_compression: bool = True,
     early_termination: bool = True,
+    kernels: Optional[KernelSet] = None,
 ) -> WaveDCState:
     """Run GenASM-DC over every lane of ``wave``, keeping the SoA state.
 
@@ -304,10 +310,16 @@ def run_dc_wave_state(
     Lanes are ``wave.words`` ``uint64`` words wide; every shift in the
     recurrence carries bit 63 of word ``w`` into bit 0 of word ``w + 1``
     (:func:`_shl1`), and the solution test probes each lane's
-    ``(msb_word, msb_shift)``.  Per-lane DP accounting (entries, rows,
-    writes, skipped rows) is charged to each lane's counter before
+    ``(msb_word, msb_shift)``.  The per-row match-chain scan — the
+    sequential column dependency NumPy cannot vectorize away — runs
+    through ``kernels.dc_scan`` (:mod:`repro.batch.kernels`), so the
+    compiled backend replaces exactly that loop; everything without the
+    dependency stays hoisted NumPy.  Per-lane DP accounting (entries,
+    rows, writes, skipped rows) is charged to each lane's counter before
     returning.
     """
+    if kernels is None:
+        kernels = get_kernels("auto", warn=False)
     L = wave.lanes
     W = wave.words
     n_max = wave.n_max
@@ -316,7 +328,6 @@ def run_dc_wave_state(
     msb_word, msb_shift = wave.msb_word, wave.msb_shift
     ones_cols = ones[:, :, None]
     word_base = (np.arange(W, dtype=np.int64) * MAX_LANE_BITS)[:, None]
-    multi_word = W > 1
 
     R_prev = np.zeros((W, L, n_max + 1), dtype=np.uint64)
     R_cur = np.zeros((W, L, n_max + 1), dtype=np.uint64)
@@ -341,29 +352,17 @@ def run_dc_wave_state(
         R_cur[:, :, 0] = row0
 
         # Lockstep scan along the text.  The match chain is a sequential
-        # dependency (value[j] needs value[j-1]), so j stays a Python loop;
+        # dependency (value[j] needs value[j-1]), so j stays a loop —
+        # delegated to the kernel seam (NumPy reference or compiled twin);
         # everything without that dependency is hoisted out and vectorized
         # over all columns at once.
-        prev_value = row0
         if d == 0:
-            for j in range(1, n_max + 1):
-                shifted = prev_value << _U1
-                if multi_word:
-                    shifted[1:] |= prev_value[:-1] >> _U63
-                value = (shifted & ones) | masks[:, :, j - 1]
-                R_cur[:, :, j] = value
-                prev_value = value
+            kernels.dc_scan(R_cur, ones, masks, None)
         else:
             subst_all = _shl1(R_prev[:, :, :-1], ones_cols)
             ins_all = _shl1(R_prev[:, :, 1:], ones_cols)
             partial = subst_all & ins_all & R_prev[:, :, :-1]
-            for j in range(1, n_max + 1):
-                shifted = prev_value << _U1
-                if multi_word:
-                    shifted[1:] |= prev_value[:-1] >> _U63
-                value = ((shifted & ones) | masks[:, :, j - 1]) & partial[:, :, j - 1]
-                R_cur[:, :, j] = value
-                prev_value = value
+            kernels.dc_scan(R_cur, ones, masks, partial)
 
         # Persist the row full-width; the band packing and pruned-column
         # placeholders of the scalar storage are applied lazily (table(),
@@ -440,6 +439,10 @@ class _PairState:
         "done",
         "tb_lockstep",
         "tb_scalar",
+        "tb_walk_steps",
+        "tb_steps_saved",
+        "tb_match_runs",
+        "tb_match_run_ops",
     )
 
     def __init__(self, pattern: str, text: str) -> None:
@@ -458,6 +461,12 @@ class _PairState:
         #: windows traced by each traceback path (metadata diagnostics)
         self.tb_lockstep = 0
         self.tb_scalar = 0
+        #: traceback walk iterations vs emitted ops (skip-ahead savings),
+        #: and the match runs the skip-ahead consumed whole
+        self.tb_walk_steps = 0
+        self.tb_steps_saved = 0
+        self.tb_match_runs = 0
+        self.tb_match_run_ops = 0
 
     def traceback_path(self) -> str:
         """Which traceback implementation(s) this pair's windows used."""
@@ -560,6 +569,21 @@ class BatchAlignmentEngine:
         self.max_lanes = max_lanes
         self.scheduling = scheduling
         self.scalar_traceback_threshold = scalar_traceback_threshold
+        #: resolved hot-loop backend ("numpy" or "numba"); an explicit
+        #: "numba" request without Numba warns once and degrades here
+        self.kernel_backend = resolve_kernel_backend(self.config.kernel_backend)
+        self._kernels = get_kernels(self.kernel_backend, warn=False)
+        #: running traceback observability across every wave this engine
+        #: ran: lockstep iterations, ops the skip-ahead saved over them,
+        #: match runs consumed whole (and their op total), wall-clock
+        #: seconds in the traceback phase
+        self.traceback_stats: Dict[str, float] = {
+            "walk_steps": 0,
+            "steps_saved": 0,
+            "match_runs": 0,
+            "match_run_ops": 0,
+            "seconds": 0.0,
+        }
 
     @property
     def vectorizable(self) -> bool:
@@ -639,7 +663,13 @@ class BatchAlignmentEngine:
             float(self.expected_work(len(pairs[index][0])))
             for index in self.schedule(pairs)
         ]
-        return lockstep_stats(work, group)
+        stats = lockstep_stats(work, group)
+        # Fold in the engine's running traceback observability (zeros
+        # until this engine has aligned something) so one call reports
+        # both the schedule model and the realised walk savings.
+        for key, value in self.traceback_stats.items():
+            stats[f"tb_{key}"] = value
+        return stats
 
     # ------------------------------------------------------------------ #
     def align_pairs(
@@ -752,6 +782,11 @@ class BatchAlignmentEngine:
                 "traceback_path": s.traceback_path(),
                 "vectorized": True,
                 "words_per_lane": self.words_per_lane,
+                "kernel_backend": self.kernel_backend,
+                "tb_walk_steps": s.tb_walk_steps,
+                "tb_walk_steps_saved": s.tb_steps_saved,
+                "tb_match_runs": s.tb_match_runs,
+                "tb_match_run_ops": s.tb_match_run_ops,
             }
             alignments.append(
                 Alignment(
@@ -809,6 +844,7 @@ class BatchAlignmentEngine:
                 wave,
                 entry_compression=config.entry_compression,
                 early_termination=config.early_termination,
+                kernels=self._kernels,
             )
 
             solved = state.min_errors >= 0
@@ -823,11 +859,25 @@ class BatchAlignmentEngine:
                     retries.append((s, rev_p, rev_t, commit, wt_len, min(m, budget * 2)))
 
             if solved.any():
-                if int(solved.sum()) < self.scalar_traceback_threshold:
+                start = time.perf_counter()
+                if int(solved.sum()) < self.effective_scalar_threshold():
                     self._traceback_scalar_lanes(state, pending, solved)
                 else:
                     self._traceback_lockstep_lanes(state, wave, pending, solved)
+                self.traceback_stats["seconds"] += time.perf_counter() - start
             pending = retries
+
+    def effective_scalar_threshold(self) -> int:
+        """Lane-count crossover of the scalar-vs-lockstep traceback dispatch.
+
+        With match-run skip-ahead active (``traceback_skip_ahead`` and an
+        M-first priority) each lockstep iteration covers a whole match run,
+        so the walk amortises its per-step NumPy dispatch over fewer,
+        fatter steps — the crossover roughly halves.
+        """
+        if self.config.traceback_skip_ahead and self.config.match_priority[0] == "M":
+            return self.scalar_traceback_threshold // 2
+        return self.scalar_traceback_threshold
 
     def _traceback_lockstep_lanes(
         self,
@@ -854,6 +904,8 @@ class BatchAlignmentEngine:
             budgets=np.array([p[3] for p in pending], dtype=np.int64),
             priority=config.match_priority,
             active=solved,
+            skip_ahead=config.traceback_skip_ahead,
+            kernels=self._kernels,
         )
         stored = state.stored_bytes()
         for lane, (s, _rev_p, _rev_t, _commit, wt_len, _budget) in enumerate(pending):
@@ -868,6 +920,9 @@ class BatchAlignmentEngine:
                 rows=int(state.rows_computed[lane]),
                 stored=int(stored[lane]),
                 path="lockstep",
+                walk_steps=tb.walk_steps,
+                match_runs=tb.match_runs,
+                match_run_ops=tb.match_run_ops,
             )
 
     def _traceback_scalar_lanes(
@@ -910,8 +965,8 @@ class BatchAlignmentEngine:
                 path="scalar",
             )
 
-    @staticmethod
     def _apply_window(
+        self,
         s: _PairState,
         *,
         codes: np.ndarray,
@@ -920,6 +975,9 @@ class BatchAlignmentEngine:
         rows: int,
         stored: int,
         path: Optional[str] = None,
+        walk_steps: Optional[int] = None,
+        match_runs: int = 0,
+        match_run_ops: int = 0,
     ) -> None:
         # Single home of window accounting: the E-series counter and the
         # per-pair metadata tally advance together, once per committed
@@ -928,6 +986,20 @@ class BatchAlignmentEngine:
             s.tb_lockstep += 1
         elif path == "scalar":
             s.tb_scalar += 1
+        # Walk observability: a path that emits one op per iteration (the
+        # scalar walk, or untraced insert-only windows) saves nothing.
+        if walk_steps is None:
+            walk_steps = int(codes.size)
+        saved = int(codes.size) - walk_steps
+        s.tb_walk_steps += walk_steps
+        s.tb_steps_saved += saved
+        s.tb_match_runs += match_runs
+        s.tb_match_run_ops += match_run_ops
+        stats = self.traceback_stats
+        stats["walk_steps"] += walk_steps
+        stats["steps_saved"] += saved
+        stats["match_runs"] += match_runs
+        stats["match_run_ops"] += match_run_ops
         s.windows += 1
         s.counter.windows += 1
         s.peak_bytes = max(s.peak_bytes, stored)

@@ -496,6 +496,18 @@ def run_short_read_throughput_experiment(
             ),
             "serial_pairs_per_second": serial.items_per_second,
             "vectorized_pairs_per_second": vectorized.items_per_second,
+            # Skip-ahead observability: walk iterations actually taken,
+            # per-step iterations the match-run countdown skipped, and how
+            # many runs fired (summed over every vectorized lane).
+            "tb_walk_steps": sum(
+                a.metadata.get("tb_walk_steps", 0) for a in vectorized.results
+            ),
+            "tb_walk_steps_saved": sum(
+                a.metadata.get("tb_walk_steps_saved", 0) for a in vectorized.results
+            ),
+            "tb_match_runs": sum(
+                a.metadata.get("tb_match_runs", 0) for a in vectorized.results
+            ),
         }
     ]
 

@@ -279,6 +279,8 @@ class BatchExecutor:
             executor=executor,
         )
         elapsed = watch.stop()
+        from repro.batch.kernels import resolve_kernel_backend
+
         return BatchResult(
             results=list(results),
             elapsed_seconds=elapsed,
@@ -286,5 +288,12 @@ class BatchExecutor:
             workers=impl.effective_workers(self.workers),
             name=name,
             backend=backend_name,
-            metadata={"config": config},
+            metadata={
+                "config": config,
+                # which hot-loop kernels the config resolves to here (the
+                # graceful-degradation answer when "numba" was requested)
+                "kernel_backend": resolve_kernel_backend(
+                    config.kernel_backend, warn=False
+                ),
+            },
         )

@@ -108,7 +108,10 @@ class WaveAccumulator:
         #: their predecessor, and how many lanes rode along.
         self.scheduling_stats = {"merged_waves": 0, "merged_lanes": 0}
         self._pending: List[object] = []  # arrival order
-        self._oldest: Optional[float] = None
+        #: per-item arrival timestamps, parallel to ``_pending`` — kept
+        #: per item (not just the oldest) so a cut that dispatches the
+        #: oldest item leaves the true age of whatever remains
+        self._arrivals: List[float] = []
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -118,11 +121,15 @@ class WaveAccumulator:
         """The buffered items, in arrival order (read-only view)."""
         return tuple(self._pending)
 
+    @property
+    def _oldest(self) -> Optional[float]:
+        """Arrival time of the oldest buffered item (``None`` when empty)."""
+        return self._arrivals[0] if self._arrivals else None
+
     # ------------------------------------------------------------------ #
     def push(self, item: object) -> List[List[object]]:
         """Buffer one item; returns the waves this push flushed (often [])."""
-        if self._oldest is None:
-            self._oldest = self.clock()
+        self._arrivals.append(self.clock())
         self._pending.append(item)
         if self.stats is not None:
             self.stats.sample_pending(len(self._pending))
@@ -199,11 +206,7 @@ class WaveAccumulator:
         ]
         remainder = sorted(order[take:])  # keep arrival order for determinism
         self._pending = [self._pending[index] for index in remainder]
-        if not self._pending:
-            self._oldest = None
-        # A non-empty remainder keeps the current _oldest timestamp: the
-        # sorted cut may leave the oldest item pending, and a conservative
-        # age only makes the timeout fire sooner, never starve.
+        self._arrivals = [self._arrivals[index] for index in remainder]
         if len(waves) >= 2 and 0 < len(waves[-1]) < self.merge_below:
             tail = waves.pop()
             waves[-1].extend(tail)

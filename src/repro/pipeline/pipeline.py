@@ -316,6 +316,7 @@ class StreamingPipeline:
                 ready: List[MappedAlignment] = []
                 for wave, alignments in completed:
                     for work, alignment in zip(wave, alignments):
+                        stats.record_traceback(alignment.metadata)
                         mapped = MappedAlignment(
                             work.order, work.read, work.candidate, alignment
                         )

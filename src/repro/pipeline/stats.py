@@ -81,6 +81,11 @@ class PipelineStats:
         (service drain: no admissible work left to fill the wave).  Seeded
         with every cause in :data:`FLUSH_CAUSES`, so any documented cause
         is readable even on runs that never triggered it.
+    tb_walk_steps, tb_walk_steps_saved, tb_match_runs, tb_match_run_ops:
+        Traceback-walk observability folded in from alignment metadata
+        (:meth:`record_traceback`): lockstep walk iterations performed,
+        the ops match-run skip-ahead saved over them, and the match runs
+        it consumed whole (plus their op total).
     """
 
     wave_size: int = 0
@@ -107,6 +112,10 @@ class PipelineStats:
     flushes: Dict[str, int] = field(
         default_factory=lambda: {cause: 0 for cause in FLUSH_CAUSES}
     )
+    tb_walk_steps: int = 0
+    tb_walk_steps_saved: int = 0
+    tb_match_runs: int = 0
+    tb_match_run_ops: int = 0
 
     def __post_init__(self) -> None:
         if self.wave_window < 1:
@@ -119,7 +128,9 @@ class PipelineStats:
     def _aggregate_wave(self, lanes: int) -> None:
         self.lanes_total += lanes
         self.capacity_total += max(self.wave_size, lanes)
-        if lanes == self.wave_size:
+        # Tail-merged waves legitimately exceed wave_size and count as
+        # full (see wave_fill_efficiency); an unset wave_size counts none.
+        if 0 < self.wave_size <= lanes:
             self.full_wave_count += 1
 
     # ------------------------------------------------------------------ #
@@ -143,16 +154,39 @@ class PipelineStats:
         self.max_reorder_buffer = max(self.max_reorder_buffer, buffered)
 
     def record_wave(self, lanes: int, reason: str) -> None:
-        """Record one dispatched wave and why it was flushed."""
+        """Record one dispatched wave and why it was flushed.
+
+        ``reason`` must be one of :data:`FLUSH_CAUSES` — the seeded-dict
+        guarantee (every documented cause readable, nothing undocumented)
+        only holds if unknown causes are rejected rather than silently
+        creating new keys.
+        """
+        if reason not in FLUSH_CAUSES:
+            raise ValueError(
+                f"unknown flush cause {reason!r}; must be one of {FLUSH_CAUSES}"
+            )
         self.waves += 1
         self.wave_lane_counts.append(lanes)  # bounded; aggregates stay exact
         self._aggregate_wave(lanes)
-        self.flushes[reason] = self.flushes.get(reason, 0) + 1
+        self.flushes[reason] += 1
 
     def record_merge(self, lanes: int) -> None:
         """Record one trailing partial wave folded into its predecessor."""
         self.wave_merges += 1
         self.merged_lanes += lanes
+
+    def record_traceback(self, metadata: Dict[str, object]) -> None:
+        """Fold one alignment's traceback walk observability into the run.
+
+        Reads the ``tb_*`` keys the batch engine attaches to alignment
+        metadata (absent on scalar-fallback alignments — they contribute
+        nothing): lockstep walk iterations, the ops match-run skip-ahead
+        saved over them, and the match runs consumed whole.
+        """
+        self.tb_walk_steps += int(metadata.get("tb_walk_steps", 0))
+        self.tb_walk_steps_saved += int(metadata.get("tb_walk_steps_saved", 0))
+        self.tb_match_runs += int(metadata.get("tb_match_runs", 0))
+        self.tb_match_run_ops += int(metadata.get("tb_match_run_ops", 0))
 
     # ------------------------------------------------------------------ #
     @property
@@ -215,6 +249,10 @@ class PipelineStats:
             "flushes": dict(self.flushes),
             "reads_per_second": self.reads_per_second,
             "pairs_per_second": self.pairs_per_second,
+            "tb_walk_steps": self.tb_walk_steps,
+            "tb_walk_steps_saved": self.tb_walk_steps_saved,
+            "tb_match_runs": self.tb_match_runs,
+            "tb_match_run_ops": self.tb_match_run_ops,
         }
 
     def summary(self) -> str:
@@ -236,4 +274,8 @@ class PipelineStats:
             f"mean_pending={self.mean_pending:.1f} "
             f"max_reorder={self.max_reorder_buffer}"
             + (f"/{self.reorder_bound}" if self.reorder_bound else "")
+            + f"\ntraceback: walk_steps={self.tb_walk_steps} "
+            f"saved={self.tb_walk_steps_saved} "
+            f"match_runs={self.tb_match_runs} "
+            f"run_ops={self.tb_match_run_ops}"
         )

@@ -384,6 +384,7 @@ class AlignmentService:
         with self._wake:
             for wave, alignments in completed:
                 for work, alignment in zip(wave, alignments):
+                    self.stats.pipeline.record_traceback(alignment.metadata)
                     request = work.request
                     request.results[work.index] = alignment
                     request.remaining -= 1

@@ -49,11 +49,13 @@ def percentile(samples, q: float) -> float:
     one a request actually experienced, and small windows don't invent
     values between two real tails.
     """
+    # Validate q unconditionally: an out-of-range quantile is a caller bug
+    # regardless of whether samples happen to be empty right now.
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
     ordered = sorted(samples)
     if not ordered:
         return 0.0
-    if not 0 <= q <= 100:
-        raise ValueError("q must be in [0, 100]")
     rank = min(max(1, math.ceil(q / 100.0 * len(ordered))), len(ordered))
     return float(ordered[rank - 1])
 

@@ -27,6 +27,12 @@ from repro.batch import (
     build_wave_decisions,
     run_dc_wave_state,
 )
+from repro.batch.kernels import (
+    FALLBACK_WARNED,
+    HAVE_NUMBA,
+    get_kernels,
+    resolve_kernel_backend,
+)
 from repro.core.aligner import GenASMAligner
 from repro.core.config import GenASMConfig
 from repro.core.genasm_tb import traceback_conditions
@@ -606,3 +612,179 @@ class TestWindowAccounting:
         scalar = GenASMAligner(GenASMConfig()).align(*pair, counter=scalar_counter)
         assert alignment.metadata["windows"] == scalar.metadata["windows"]
         assert counter.windows == scalar_counter.windows
+
+
+# --------------------------------------------------------------------------- #
+# Match-run skip-ahead and the compiled-kernel seam (kernel speed pack)
+# --------------------------------------------------------------------------- #
+class TestSkipAheadTraceback:
+    """Skip-ahead consumes whole match runs yet stays byte-identical."""
+
+    @pytest.mark.parametrize("window_size", [64, 96, 150])
+    @pytest.mark.parametrize("skip_ahead", [False, True])
+    def test_counter_parity_with_scalar(self, rng, window_size, skip_ahead):
+        # tb_steps / dp_reads / bytes_read parity with the scalar walk,
+        # with skip-ahead enabled AND disabled: skipping steps must still
+        # charge the per-step reads the scalar walk would have issued.
+        config = window_config(window_size, traceback_skip_ahead=skip_ahead)
+        pairs = random_pairs(rng) + adversarial_pairs()
+        context = f"window={window_size} skip={skip_ahead}"
+
+        scalar_counter = AccessCounter()
+        aligner = GenASMAligner(config)
+        scalar = []
+        for pattern, text in pairs:
+            pair_counter = AccessCounter()
+            scalar.append(aligner.align(pattern, text, counter=pair_counter))
+            scalar_counter.merge(pair_counter)
+
+        batch_counter = AccessCounter()
+        batch = BatchAlignmentEngine(
+            config, scalar_traceback_threshold=0
+        ).align_pairs(pairs, counter=batch_counter)
+
+        assert_pairwise_identical(scalar, batch, context)
+        assert batch_counter.as_dict() == scalar_counter.as_dict(), context
+
+    @pytest.mark.parametrize("priority", PRIORITIES)
+    def test_toggle_invariant_across_priorities(self, rng, priority):
+        # Skip-ahead is only legal when M leads the tie-break order; for
+        # every priority the toggle must be a pure no-op on results and
+        # accounting (it silently deactivates when another letter leads).
+        pairs = random_pairs(rng) + adversarial_pairs()
+        outcomes = {}
+        for skip in (False, True):
+            config = GenASMConfig(
+                match_priority=priority, traceback_skip_ahead=skip
+            )
+            counter = AccessCounter()
+            alignments = BatchAlignmentEngine(
+                config, scalar_traceback_threshold=0
+            ).align_pairs(pairs, counter=counter)
+            outcomes[skip] = (alignments, counter.as_dict())
+        assert_pairwise_identical(outcomes[False][0], outcomes[True][0], priority)
+        assert outcomes[False][1] == outcomes[True][1], priority
+
+    def test_walk_steps_saved_on_matchy_workload(self, rng):
+        pattern = random_dna(rng, 120)
+        pairs = [(pattern, mutate(rng, pattern, 6) + "ACGT") for _ in range(4)]
+
+        on = BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=0)
+        on_alignments = on.align_pairs(pairs)
+        saved = sum(a.metadata["tb_walk_steps_saved"] for a in on_alignments)
+        assert saved > 0
+        assert on.traceback_stats["steps_saved"] == saved
+        assert on.traceback_stats["match_runs"] > 0
+        assert on.traceback_stats["seconds"] > 0
+        for alignment in on_alignments:
+            meta = alignment.metadata
+            assert meta["tb_match_run_ops"] >= meta["tb_match_runs"]
+            assert meta["tb_walk_steps"] > 0
+
+        off = BatchAlignmentEngine(
+            GenASMConfig(traceback_skip_ahead=False), scalar_traceback_threshold=0
+        )
+        off_alignments = off.align_pairs(pairs)
+        assert all(
+            a.metadata["tb_walk_steps_saved"] == 0 for a in off_alignments
+        )
+        assert off.traceback_stats["match_runs"] == 0
+        assert_pairwise_identical(on_alignments, off_alignments, "skip on vs off")
+        # Each emitted op either came from a walk iteration or was skipped.
+        for on_a, off_a in zip(on_alignments, off_alignments):
+            assert (
+                on_a.metadata["tb_walk_steps"]
+                + on_a.metadata["tb_walk_steps_saved"]
+                == off_a.metadata["tb_walk_steps"]
+            )
+
+    def test_scheduling_stats_fold_traceback_counters(self, rng):
+        pattern = random_dna(rng, 90)
+        pairs = [(pattern, mutate(rng, pattern, 4) + "AC")] * 3
+        engine = BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=0)
+        engine.align_pairs(pairs)
+        stats = engine.scheduling_stats(pairs)
+        assert stats["tb_walk_steps"] > 0
+        assert stats["tb_steps_saved"] >= 0
+        assert stats["tb_seconds"] >= 0
+
+    def test_dispatch_threshold_halved_when_skip_active(self):
+        engine = BatchAlignmentEngine(GenASMConfig(), scalar_traceback_threshold=24)
+        assert engine.effective_scalar_threshold() == 12
+        no_skip = BatchAlignmentEngine(
+            GenASMConfig(traceback_skip_ahead=False), scalar_traceback_threshold=24
+        )
+        assert no_skip.effective_scalar_threshold() == 24
+        # A non-M-first priority never takes runs, so the lockstep step
+        # cost is unchanged and the threshold must not shift.
+        non_m_first = BatchAlignmentEngine(
+            GenASMConfig(match_priority="SMDI"), scalar_traceback_threshold=24
+        )
+        assert non_m_first.effective_scalar_threshold() == 24
+
+
+class TestKernelBackendSeam:
+    """Backend resolution, fallback warning dedupe, and equivalence."""
+
+    def test_resolve_backends(self):
+        assert resolve_kernel_backend("numpy") == "numpy"
+        assert resolve_kernel_backend("auto", warn=False) in ("numpy", "numba")
+        with pytest.raises(ValueError, match="kernel_backend"):
+            resolve_kernel_backend("cython")
+
+    def test_config_validates_backend(self):
+        assert GenASMConfig().kernel_backend == "auto"
+        assert GenASMConfig(kernel_backend="numpy").kernel_backend == "numpy"
+        with pytest.raises(ValueError):
+            GenASMConfig(kernel_backend="cython")
+
+    def test_kernel_set_shape(self):
+        kernels = get_kernels("numpy")
+        assert kernels.name == "numpy"
+        assert callable(kernels.dc_scan)
+        assert callable(kernels.tb_gather)
+
+    def test_numba_absent_fallback_warns_once(self):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed; fallback path not reachable")
+        FALLBACK_WARNED.discard("kernel_backend=numba")
+        with pytest.warns(RuntimeWarning, match="numba"):
+            assert resolve_kernel_backend("numba") == "numpy"
+        # Deduped on the second request: no warning at all.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_kernel_backend("numba") == "numpy"
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    def test_backend_differential(self, rng, backend):
+        if backend == "numba" and not HAVE_NUMBA:
+            pytest.skip("numba not installed")
+        pairs = random_pairs(rng) + adversarial_pairs()
+        config = GenASMConfig(kernel_backend=backend)
+        scalar = [GenASMAligner(config).align(p, t) for p, t in pairs]
+        batch = BatchAlignmentEngine(
+            config, scalar_traceback_threshold=0
+        ).align_pairs(pairs)
+        assert_pairwise_identical(scalar, batch, f"backend={backend}")
+
+    def test_alignment_metadata_reports_backend(self, rng):
+        pattern = random_dna(rng, 80)
+        pairs = [(pattern, mutate(rng, pattern, 4))]
+        engine = BatchAlignmentEngine(GenASMConfig(kernel_backend="numpy"))
+        alignment = engine.align_pairs(pairs)[0]
+        assert alignment.metadata["kernel_backend"] == "numpy"
+        resolved = BatchAlignmentEngine(GenASMConfig()).align_pairs(pairs)[0]
+        assert resolved.metadata["kernel_backend"] in ("numpy", "numba")
+
+    def test_run_alignments_metadata_reports_backend(self):
+        from repro.parallel.executor import BatchExecutor
+
+        result = BatchExecutor(backend="vectorized").run_alignments(
+            [("ACGTACGT", "ACGTACGT")]
+        )
+        backend = result.metadata["kernel_backend"]
+        assert backend in ("numpy", "numba")
+        if not HAVE_NUMBA:
+            assert backend == "numpy"

@@ -146,6 +146,52 @@ class TestWaveAccumulator:
         # The clock resets with the buffer: a fresh item does not flush.
         assert acc.push("d") == []
 
+    def test_cut_refreshes_oldest_arrival(self):
+        # Regression: a size-cut that dispatches the oldest item must not
+        # keep its arrival time — otherwise poll() immediately fires a
+        # spurious "timeout" flush on the fresh remainder, collapsing wave
+        # fill on sorted streams.
+        now = [0.0]
+        acc = WaveAccumulator(
+            wave_size=2,
+            max_pending=3,
+            linger_seconds=2.0,
+            scheduling="fifo",
+            clock=lambda: now[0],
+        )
+        assert acc.push("a") == []
+        now[0] = 1.9
+        assert acc.push("b") == []
+        waves = acc.push("c")  # hits max_pending: cuts ["a", "b"], keeps "c"
+        assert waves == [["a", "b"]]
+        # "c" arrived just now — its age is 0, not item "a"'s 1.9 s.
+        assert acc.oldest_age() == pytest.approx(0.0)
+        now[0] = 2.5  # "a" would be 2.5 s old, but "c" is only 0.6 s old
+        assert acc.poll() == []
+        now[0] = 4.0  # now "c" genuinely exceeds the linger bound
+        assert acc.poll() == [["c"]]
+        assert acc.oldest_age() is None
+
+    def test_sorted_cut_keeps_per_item_ages(self):
+        # A sorted cut can dispatch *newer* items and leave the oldest one
+        # pending; its original arrival time must survive the cut.
+        now = [0.0]
+        acc = WaveAccumulator(
+            wave_size=2,
+            max_pending=3,
+            linger_seconds=5.0,
+            work_key=lambda item: item,
+            clock=lambda: now[0],
+        )
+        acc.push(9)  # oldest, but largest work — stays pending
+        now[0] = 1.0
+        acc.push(1)
+        now[0] = 2.0
+        waves = acc.push(2)
+        assert waves == [[1, 2]]
+        assert [i for i in acc.pending] == [9]
+        assert acc.oldest_age() == pytest.approx(2.0)
+
     def test_fifo_scheduling_keeps_arrival_order(self):
         acc = WaveAccumulator(
             wave_size=2, max_pending=4, scheduling="fifo", work_key=lambda i: -i
@@ -324,6 +370,58 @@ class TestPipelineStats:
         stats.record_wave(2, "final")
         assert stats.aligned == 0  # nothing absorbed yet
         assert stats.wave_fill_efficiency == pytest.approx(6 / 8)
+
+    def test_merged_wave_counts_as_full_in_stats(self):
+        # Regression: a tail-merged wave carries *more* lanes than
+        # wave_size; the old `lanes == wave_size` check counted it as
+        # partial, deflating full_waves on exactly the drains where the
+        # merge policy did its job.
+        from repro.pipeline import PipelineStats
+
+        stats = PipelineStats(wave_size=4)
+        acc = WaveAccumulator(wave_size=4, merge_below=2, stats=stats)
+        for item in range(5):
+            acc.push(item)
+        waves = acc.flush()
+        assert waves == [[0, 1, 2, 3, 4]]  # fifo-equivalent: work_key constant
+        assert stats.wave_merges == 1
+        assert stats.full_waves == 1
+        assert stats.wave_fill_efficiency == 1.0
+
+    def test_unknown_flush_cause_rejected(self):
+        # The FLUSH_CAUSES contract used to break silently: an unlisted
+        # reason landed in the flushes Counter but as_dict()/summary()
+        # views built from FLUSH_CAUSES dropped it.
+        from repro.pipeline import PipelineStats
+
+        stats = PipelineStats(wave_size=4)
+        with pytest.raises(ValueError, match="unknown flush cause"):
+            stats.record_wave(4, "oops")
+        assert stats.waves == 0  # rejected before any mutation
+        assert sum(stats.flushes.values()) == 0
+
+    def test_record_traceback_folds_alignment_metadata(self):
+        from repro.pipeline import PipelineStats
+
+        stats = PipelineStats(wave_size=4)
+        stats.record_traceback(
+            {
+                "tb_walk_steps": 7,
+                "tb_walk_steps_saved": 3,
+                "tb_match_runs": 2,
+                "tb_match_run_ops": 5,
+            }
+        )
+        # Scalar-fallback alignments carry no tb_* keys; folding them must
+        # be a no-op rather than a KeyError.
+        stats.record_traceback({"windows": 1})
+        assert stats.tb_walk_steps == 7
+        assert stats.tb_walk_steps_saved == 3
+        assert stats.tb_match_runs == 2
+        assert stats.tb_match_run_ops == 5
+        as_dict = stats.as_dict()
+        assert as_dict["tb_walk_steps_saved"] == 3
+        assert "walk_steps=7" in stats.summary()
 
     def test_random_work_stream_with_backpressure(self, rng):
         # A synthetic mixed-length pair stream under a tight bound: every

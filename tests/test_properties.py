@@ -196,3 +196,44 @@ def test_lockstep_scheduling_invariants_hold_for_multi_word_lanes(lengths, group
             config, max_lanes=group, scheduling="fifo"
         ).scheduling_stats(pairs)
         assert stats["efficiency"] >= fifo["efficiency"] - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    dna_straddling,
+    st.text(alphabet="ACGT", min_size=0, max_size=20),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+)
+def test_match_run_length_equals_bitwise_walk(pattern, noise, k, entry_compression):
+    # The skip-ahead countdown over the diagonal-packed match plane must
+    # count exactly the consecutive legal-match bits the per-step walk
+    # would consume: run(j, d, i) == number of t >= 0 with M legal at
+    # (j - t, d, i - t).  Patterns straddle 64-bit words by construction,
+    # so runs crossing the i % 64 == 0 stitch are exercised.
+    text = pattern[: len(pattern) // 2] + noise
+    wave = SoAWave(
+        [LaneJob(pattern=pattern, text=text, max_errors=k)], traceback_band=False
+    )
+    state = run_dc_wave_state(wave, entry_compression=entry_compression)
+    decisions = build_wave_decisions(
+        wave, state.stored_rows, entry_compression=entry_compression
+    )
+    m, n = len(pattern), len(text)
+    rows = state.table(0).rows_computed
+    probe_bits = sorted(
+        {0, 1, m - 1} | {b for b in (62, 63, 64, 65, 127, 128, 129) if b < m}
+    )
+    for d in range(rows):
+        for j in range(1, n + 1):
+            for i in probe_bits:
+                brute = 0
+                while (
+                    i - brute >= 0
+                    and j - brute >= 1
+                    and decisions.bit("M", 0, d, j - brute, i - brute)
+                ):
+                    brute += 1
+                assert decisions.match_run_length(0, d, j, i) == brute, (
+                    f"d={d} j={j} i={i} ec={entry_compression}"
+                )

@@ -445,6 +445,15 @@ class TestLatencyPrimitives:
         with pytest.raises(ValueError):
             percentile(samples, 101)
 
+    def test_percentile_range_checked_even_on_empty_input(self):
+        # Regression: the empty-input early return used to skip the q
+        # validation entirely, so a caller bug like percentile([], 200)
+        # silently returned 0.0 instead of raising.
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([], 200)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([], -1)
+
     def test_latency_window_bounded_with_exact_aggregates(self):
         stats = LatencyStats(window=4)
         for i in range(10):
