@@ -11,8 +11,10 @@ It runs the E1s workload through both paths and **fails** if:
    against the checked-in baseline in ``BENCH_pipeline.json``;
 3. the executor leaks any shared-memory segment after close.
 
-Each run appends its measurement to ``BENCH_pipeline.json``'s history so
-the checked-in file doubles as a local trend log.  The shared pipeline
+Each run appends its measurement to ``BENCH_pipeline.json``'s history
+through :class:`repro.telemetry.bench.BenchRecorder` (schema-validated,
+provenance-stamped with the git SHA and config fingerprint) so the
+checked-in file doubles as a local trend log.  The shared pipeline
 streams in ``max_pending``-sized waves — with descriptor handoffs a wave
 costs the same to ship regardless of lane count, while every extra wave
 pays a full column-loop dispatch, so the backpressure window is the
@@ -21,10 +23,15 @@ region: the warm pool is the operating mode this executor exists for.
 
 Run with::
 
-    python examples/e1s_shared_smoke.py
+    python examples/e1s_shared_smoke.py [--trace trace.json]
+
+``--trace`` enables the telemetry tracer on the pipeline and the
+shared-memory executor, writes the run's timeline as Chrome-trace JSON
+(load in ``chrome://tracing`` / Perfetto), and asserts the span tree
+covers every driver stage plus the worker-side wave spans.
 """
 
-import json
+import argparse
 import time
 from pathlib import Path
 
@@ -34,6 +41,18 @@ from repro.mapping.mapper import Mapper
 from repro.parallel.executor import BatchExecutor
 from repro.parallel.shm import SharedMemoryExecutor
 from repro.pipeline import StreamingPipeline
+from repro.telemetry import BenchRecorder, Tracer, write_chrome_trace
+
+#: Span names the traced smoke requires on the exported timeline: every
+#: driver stage of the pipeline plus the cross-process worker wave spans.
+REQUIRED_SPANS = (
+    "stage.ingest",
+    "stage.map",
+    "stage.batch",
+    "stage.align",
+    "stage.emit",
+    "worker.align.wave",
+)
 
 READ_COUNT = 256
 READ_LENGTH = 300
@@ -67,7 +86,16 @@ def identical(mapped_results, reference) -> bool:
 
 
 def main() -> None:
-    bench = json.loads(BENCH_PATH.read_text())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable tracing and write the timeline as Chrome-trace JSON here",
+    )
+    args = parser.parse_args()
+    tracer = Tracer(process_name="e1s-driver") if args.trace else None
+    recorder = BenchRecorder(BENCH_PATH)
     config = GenASMConfig()
     workload = build_paper_dataset(
         read_count=READ_COUNT, read_length=READ_LENGTH, seed=SEED, max_pairs=None
@@ -100,7 +128,9 @@ def main() -> None:
     ratios = []
     offline_best = shared_best = float("inf")
     mismatches = 0
-    with SharedMemoryExecutor(workers=2, config=config, mapper=mapper) as executor:
+    with SharedMemoryExecutor(
+        workers=2, config=config, mapper=mapper, tracer=tracer
+    ) as executor:
         executor.warm()
         for _ in range(TRIALS):
             offline_seconds, _ = measure_offline()
@@ -110,6 +140,7 @@ def main() -> None:
                 wave_size=WAVE_SIZE,
                 max_pending=WAVE_SIZE,
                 executor=executor,
+                tracer=tracer,
             )
             start = time.perf_counter()
             mapped_results = pipeline.run_all(reads)
@@ -124,36 +155,49 @@ def main() -> None:
     leaked = [name for name in segment_names if segment_exists(name)]
 
     ratio = max(ratios)
+    check = recorder.check_ratio(ratio)
     print(f"offline vectorized:   {offline_best:.3f}s best of {TRIALS}")
-    baseline = bench["baseline"]["ratio"]
-    floor = bench["regression_threshold"] * baseline
     print(f"shared streaming:     {shared_best:.3f}s best of {TRIALS} "
           f"(waves={stats.waves}, merges={stats.wave_merges})")
     print(f"throughput ratio:     {ratio:.3f}x offline vectorized, best paired of "
           f"{[round(r, 3) for r in ratios]} "
-          f"(baseline {baseline:.3f}x, floor {floor:.3f}x)")
+          f"(baseline {check['baseline']:.3f}x, floor {check['floor']:.3f}x)")
     print(f"identical alignments: {mismatches == 0} ({TRIALS} trials)")
     print(f"segments created:     {len(segment_names)}, leaked: {len(leaked)}")
 
-    bench.setdefault("history", []).append(
+    recorder.append(
+        "history",
         {
-            "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "ratio": round(ratio, 4),
             "offline_seconds": round(offline_best, 4),
             "shared_seconds": round(shared_best, 4),
             "reads": len(reads),
             "pairs": len(reference),
             "trials": TRIALS,
-        }
+        },
+        config=config,
     )
-    bench["history"] = bench["history"][-50:]
-    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    recorder.save()
+    trend = recorder.trend("history", "ratio")
+    if trend is not None:
+        print(f"ratio trend:          {trend['latest']:.3f} vs trailing mean "
+              f"{trend['trailing_mean']:.3f} (delta {trend['delta']:+.3f})")
+
+    if tracer is not None:
+        trace_path = write_chrome_trace(args.trace, tracer)
+        names = {record.name for record in tracer.records()}
+        missing = [name for name in REQUIRED_SPANS if name not in names]
+        print(f"trace:                {trace_path} "
+              f"({len(tracer.records())} events, "
+              f"{len(tracer.process_names)} process tracks, "
+              f"dropped={tracer.dropped})")
+        assert not missing, f"trace is missing required spans: {missing}"
 
     assert mismatches == 0, "shared streaming disagrees with offline vectorized"
     assert not leaked, f"leaked shared-memory segments: {leaked}"
-    assert ratio >= floor, (
-        f"shared streaming regressed >20%: {ratio:.3f}x < {floor:.3f}x "
-        f"(baseline {baseline:.3f}x)"
+    assert check["ok"], (
+        f"shared streaming regressed >20%: {ratio:.3f}x < {check['floor']:.3f}x "
+        f"(baseline {check['baseline']:.3f}x)"
     )
 
 

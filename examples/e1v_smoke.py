@@ -12,12 +12,12 @@ Run with::
     python examples/e1v_smoke.py
 """
 
-import json
 import random
 import time
 from pathlib import Path
 
 from repro import BatchAlignmentEngine, GenASMAligner, GenASMConfig
+from repro.telemetry import BenchRecorder
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
@@ -92,6 +92,7 @@ def main() -> None:
     assert tb["steps_saved"] > 0, "match-run skip-ahead saved no walk steps"
 
     append_traceback_bench_row(
+        config=config,
         source="e1v_smoke",
         walk_steps=tb["walk_steps"],
         steps_saved=tb["steps_saved"],
@@ -101,19 +102,18 @@ def main() -> None:
     )
 
 
-def append_traceback_bench_row(**row) -> None:
+def append_traceback_bench_row(*, config=None, **row) -> None:
     """Append a traceback-throughput row to ``BENCH_pipeline.json``.
 
-    Informational trend (correctness gates the build); bounded history,
-    same contract as the smoke's streaming and service histories.
+    Informational trend (correctness gates the build); bounded,
+    schema-validated, provenance-stamped history via
+    :class:`repro.telemetry.bench.BenchRecorder` — same contract as the
+    smoke's streaming and service histories.
     """
-    bench = json.loads(BENCH_PATH.read_text())
-    entry = {"date": time.strftime("%Y-%m-%dT%H:%M:%S")}
-    entry.update(row)
-    entry["steps_per_second"] = round(entry["steps_per_second"], 1)
-    bench.setdefault("traceback_history", []).append(entry)
-    bench["traceback_history"] = bench["traceback_history"][-50:]
-    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    recorder = BenchRecorder(BENCH_PATH)
+    row["steps_per_second"] = round(row["steps_per_second"], 1)
+    recorder.append("traceback_history", row, config=config)
+    recorder.save()
     print(f"appended traceback row: {BENCH_PATH.name} "
           f"({row['source']}, {row['steps_per_second']:,.0f} walk steps/s)")
 

@@ -67,6 +67,7 @@ def main() -> None:
     )
     tb = engine.traceback_stats
     append_traceback_bench_row(
+        config=engine.config,
         source="e2_smoke",
         walk_steps=tb["walk_steps"],
         steps_saved=tb["steps_saved"],

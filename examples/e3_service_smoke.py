@@ -24,7 +24,6 @@ Run with::
     python examples/e3_service_smoke.py
 """
 
-import json
 import threading
 import time
 from pathlib import Path
@@ -33,6 +32,7 @@ from repro.core.config import GenASMConfig
 from repro.harness.experiments import _simulate_short_read_pairs
 from repro.parallel.executor import BatchExecutor
 from repro.service import AlignmentService
+from repro.telemetry import BenchRecorder
 
 CLIENTS = 4
 PAIRS_PER_CLIENT = 24
@@ -58,7 +58,7 @@ def identical(got, reference) -> bool:
 
 
 def main() -> None:
-    bench = json.loads(BENCH_PATH.read_text())
+    recorder = BenchRecorder(BENCH_PATH)
     config = GenASMConfig()
     workloads = {
         f"tenant-{i}": _simulate_short_read_pairs(
@@ -132,18 +132,22 @@ def main() -> None:
               f"p95={s['p95_ms']:.2f}ms p99={s['p99_ms']:.2f}ms "
               f"({s['requests']} requests)")
 
-    bench.setdefault("service_history", []).append(
+    recorder.append(
+        "service_history",
         {
-            "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "p95_ms": round(p95_ms, 3),
             "clients": CLIENTS,
             "pairs": total_pairs,
             "wave_size": WAVE_SIZE,
             "trials": TRIALS,
-        }
+        },
+        config=config,
     )
-    bench["service_history"] = bench["service_history"][-50:]
-    BENCH_PATH.write_text(json.dumps(bench, indent=2) + "\n")
+    recorder.save()
+    trend = recorder.trend("service_history", "p95_ms")
+    if trend is not None:
+        print(f"p95 trend:            {trend['latest']:.3f}ms vs trailing mean "
+              f"{trend['trailing_mean']:.3f}ms (delta {trend['delta']:+.3f}ms)")
 
     assert mismatches == 0, "service results disagree with offline per-client runs"
     assert not over_cap, f"tenants exceeded the in-flight cap: {over_cap}"

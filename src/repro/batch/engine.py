@@ -671,6 +671,27 @@ class BatchAlignmentEngine:
             stats[f"tb_{key}"] = value
         return stats
 
+    def publish_metrics(self, registry) -> None:
+        """Publish this engine's counters into a telemetry ``MetricsRegistry``.
+
+        Names live under ``engine_*`` (see :mod:`repro.telemetry.metrics`):
+        the running :attr:`traceback_stats` become ``set_total``'d counters
+        (idempotent — re-publishing never double-counts) and the resolved
+        :attr:`kernel_backend` becomes a labelled info-style gauge.
+        """
+        stats = self.traceback_stats
+        for field, name in (
+            ("walk_steps", "engine_tb_walk_steps_total"),
+            ("steps_saved", "engine_tb_steps_saved_total"),
+            ("match_runs", "engine_tb_match_runs_total"),
+            ("match_run_ops", "engine_tb_match_run_ops_total"),
+        ):
+            registry.counter(name).set_total(stats[field])
+        registry.gauge("engine_tb_seconds").set(stats["seconds"])
+        registry.gauge(
+            "engine_kernel_backend_info", backend=self.kernel_backend
+        ).set(1)
+
     # ------------------------------------------------------------------ #
     def align_pairs(
         self,

@@ -206,14 +206,20 @@ def _string_block_decode(views: Dict[str, np.ndarray], prefix: str) -> List[str]
 
 
 def pack_pairs(
-    pairs: Sequence[Tuple[str, str]]
+    pairs: Sequence[Tuple[str, str]],
+    *,
+    meta: Optional[Dict[str, object]] = None,
 ) -> Tuple[SharedSegment, SegmentLayout]:
-    """Pack (pattern, text) pairs into one segment; ship only the layout."""
+    """Pack (pattern, text) pairs into one segment; ship only the layout.
+
+    ``meta`` rides along in the layout (small picklable extras — e.g. the
+    ``wave_id`` worker-side trace spans tag themselves with).
+    """
     arrays = {
         **_string_block([p for p, _ in pairs], "pattern"),
         **_string_block([t for _, t in pairs], "text"),
     }
-    return pack_arrays(arrays, meta={"count": len(pairs)})
+    return pack_arrays(arrays, meta={**(meta or {}), "count": len(pairs)})
 
 
 def unpack_pairs(layout: SegmentLayout) -> List[Tuple[str, str]]:
@@ -439,10 +445,20 @@ class _WorkerState:
     """Per-worker-process state: attached resources + a warm engine."""
 
     def __init__(self, bundle: Dict[str, object]) -> None:
+        import os
+
         from repro.batch.engine import BatchAlignmentEngine
+        from repro.telemetry.trace import NULL_TRACER, Tracer
 
         self.config = bundle["config"]
         self.engine = BatchAlignmentEngine(self.config, **bundle["engine_kwargs"])
+        # Worker-side tracer: spans recorded here are drained and shipped
+        # back with each wave's alignments, so the driver-side tracer can
+        # absorb them onto one timeline (separate pid tracks).
+        if bundle.get("trace"):
+            self.tracer = Tracer(process_name=f"shm-worker-{os.getpid()}")
+        else:
+            self.tracer = NULL_TRACER
         self.genome = None
         self.mapper = None
         genome_layout = bundle.get("genome")
@@ -489,6 +505,22 @@ def _worker_align(layout: SegmentLayout) -> List:
     return _WORKER.engine.align_pairs(unpack_pairs(layout))
 
 
+def _worker_align_traced(layout: SegmentLayout) -> Tuple[List, List, str]:
+    """Traced :func:`_worker_align`: also ship this wave's spans back.
+
+    Returns ``(alignments, span records, process name)``; the driver-side
+    executor absorbs the records so cross-process waves land on the same
+    exported timeline as the driver's stages.
+    """
+    tracer = _WORKER.tracer
+    wave_id = layout.meta.get("wave_id")
+    with tracer.span(
+        "worker.align.wave", wave_id=wave_id, lanes=layout.meta.get("count")
+    ):
+        alignments = _WORKER.engine.align_pairs(unpack_pairs(layout))
+    return alignments, tracer.drain(), tracer.process_name
+
+
 def _worker_map(name: str, sequence: str) -> List[Tuple[object, str, str]]:
     """Map one read against the shared index + genome.
 
@@ -532,6 +564,12 @@ class SharedMemoryExecutor:
         genome/index.  Requires ``mapper`` (for the mapper parameters);
         the segments stay owned by whoever hosted them: :meth:`close`
         does **not** unlink them.
+    tracer:
+        Optional driver-side :class:`~repro.telemetry.trace.Tracer`.  When
+        given (and enabled), each worker builds its own tracer, records a
+        ``worker.align.wave`` span per wave, and ships the span records
+        back with the wave's alignments; this executor absorbs them so one
+        exported timeline covers driver stages and worker waves.
     eager:
         Start the pool at construction (default starts lazily on first
         submit).
@@ -551,6 +589,7 @@ class SharedMemoryExecutor:
         engine_kwargs: Optional[Dict[str, object]] = None,
         mapper=None,
         shared_layouts: Optional[Tuple[SegmentLayout, SegmentLayout]] = None,
+        tracer=None,
         eager: bool = False,
     ) -> None:
         if workers < 1:
@@ -561,9 +600,11 @@ class SharedMemoryExecutor:
                 "shipped alongside the pre-hosted segments)"
             )
         from repro.core.config import GenASMConfig
+        from repro.telemetry.trace import get_tracer
 
         self.workers = workers
         self.config = config if config is not None else GenASMConfig()
+        self.tracer = get_tracer(tracer)
         self.engine_kwargs = dict(engine_kwargs or {})
         self.mapper = mapper
         self.shared_layouts = shared_layouts
@@ -592,6 +633,7 @@ class SharedMemoryExecutor:
         bundle: Dict[str, object] = {
             "config": self.config,
             "engine_kwargs": self.engine_kwargs,
+            "trace": self.tracer.enabled,
         }
         if self.mapper is not None:
             if self.shared_layouts is not None:
@@ -637,19 +679,23 @@ class SharedMemoryExecutor:
         return sorted({f.result() for f in futures if f.done() and not f.cancelled()})
 
     # ------------------------------------------------------------------ #
-    def submit_wave(self, pairs: Sequence[Tuple[str, str]]):
+    def submit_wave(self, pairs: Sequence[Tuple[str, str]], *, wave_id=None):
         """Dispatch one wave of (pattern, text) pairs; returns its future.
 
         The pairs are packed into a per-wave shared segment and only the
         :class:`SegmentLayout` crosses the process boundary.  The segment
         is unlinked automatically when the wave completes (or fails, or is
         cancelled) — :meth:`close` sweeps any still outstanding.
+        ``wave_id`` labels the wave in worker-side trace spans.
         """
         self.start()
-        segment, layout = pack_pairs(pairs)
+        traced = self.tracer.enabled
+        meta = {"wave_id": wave_id} if wave_id is not None else None
+        segment, layout = pack_pairs(pairs, meta=meta)
         self._segment_names.append(segment.name)
+        task = _worker_align_traced if traced else _worker_align
         try:
-            future = self._pool.submit(_worker_align, layout)
+            future = self._pool.submit(task, layout)
         except BaseException:
             # Submission can fail after the segment exists (pool already
             # broken by a worker crash, or shutting down) — the segment
@@ -658,7 +704,27 @@ class SharedMemoryExecutor:
             raise
         self._wave_segments[future] = segment
         future.add_done_callback(self._release_wave_segment)
-        return future
+        if not traced:
+            return future
+        # Traced waves resolve to (alignments, spans, worker name); callers
+        # must still see a future of bare alignments, so wrap: absorb the
+        # worker spans here and resolve the outer future with the payload.
+        from concurrent.futures import Future
+
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()
+
+        def _absorb(done) -> None:
+            error = done.exception()
+            if error is not None:
+                outer.set_exception(error)
+                return
+            alignments, records, worker_name = done.result()
+            self.tracer.absorb(records, process_name=worker_name)
+            outer.set_result(alignments)
+
+        future.add_done_callback(_absorb)
+        return outer
 
     def submit_map(self, name: str, sequence: str):
         """Dispatch one read-mapping task against the shared index."""

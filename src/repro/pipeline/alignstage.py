@@ -34,6 +34,7 @@ from repro.batch.engine import (
 from repro.core.alignment import Alignment
 from repro.core.config import GenASMConfig
 from repro.pipeline.window import InflightWindow
+from repro.telemetry.trace import get_tracer
 
 __all__ = ["AlignStage"]
 
@@ -72,6 +73,13 @@ class AlignStage:
         config must equal this stage's.
     max_lanes, scheduling, scalar_traceback_threshold, name:
         Forwarded to :class:`BatchAlignmentEngine`.
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`.  Each submitted
+        wave gets a monotonically increasing ``wave_id`` and an
+        ``align.wave`` span (in-process execution) or an
+        ``align.dispatch`` span (the handoff to a pool or shared-memory
+        executor; the executor's own tracer covers worker-side
+        execution).
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class AlignStage:
         scheduling: str = "sorted",
         scalar_traceback_threshold: int = DEFAULT_SCALAR_TRACEBACK_THRESHOLD,
         name: str = "genasm-streaming",
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -112,6 +121,9 @@ class AlignStage:
             )
         self._pool = None
         self._window = InflightWindow(self.inflight)
+        self.tracer = get_tracer(tracer)
+        #: Waves submitted so far; also the next wave's ``wave_id``.
+        self.waves_submitted = 0
 
     @property
     def config(self) -> GenASMConfig:
@@ -126,11 +138,17 @@ class AlignStage:
     def submit(self, wave: Sequence) -> None:
         """Dispatch one wave (items must expose ``pattern`` and ``text``)."""
         pairs = [(item.pattern, item.text) for item in wave]
+        wave_id = self.waves_submitted
+        self.waves_submitted += 1
         if self.executor is not None:
-            self._window.append(list(wave), self.executor.submit_wave(pairs))
+            with self.tracer.span("align.dispatch", wave_id=wave_id, lanes=len(pairs)):
+                future = self.executor.submit_wave(pairs, wave_id=wave_id)
+            self._window.append(list(wave), future)
             return
         if self.workers == 1:
-            self._window.append(list(wave), self.engine.align_pairs(pairs))
+            with self.tracer.span("align.wave", wave_id=wave_id, lanes=len(pairs)):
+                alignments = self.engine.align_pairs(pairs)
+            self._window.append(list(wave), alignments)
             return
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
@@ -139,10 +157,11 @@ class AlignStage:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=get_context("spawn")
             )
-        self._window.append(
-            list(wave),
-            self._pool.submit(_align_wave, self.config, self._engine_kwargs, pairs),
-        )
+        with self.tracer.span("align.dispatch", wave_id=wave_id, lanes=len(pairs)):
+            future = self._pool.submit(
+                _align_wave, self.config, self._engine_kwargs, pairs
+            )
+        self._window.append(list(wave), future)
 
     def collect(self, *, block: bool = False) -> List[Tuple[List, List[Alignment]]]:
         """Pop completed waves from the front of the queue, submission order.

@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.batch.engine import SCHEDULING_POLICIES
 from repro.pipeline.stats import PipelineStats
+from repro.telemetry.trace import get_tracer
 
 __all__ = ["WaveAccumulator"]
 
@@ -69,6 +70,9 @@ class WaveAccumulator:
     stats:
         Optional :class:`PipelineStats` receiving occupancy samples and
         flush causes.
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`; every flush emits
+        a ``wave.flush`` instant event (cause, waves, lanes) on it.
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class WaveAccumulator:
         work_key: Optional[Callable[[object], float]] = None,
         clock: Callable[[], float] = time.monotonic,
         stats: Optional[PipelineStats] = None,
+        tracer=None,
     ) -> None:
         if wave_size < 1:
             raise ValueError("wave_size must be at least 1")
@@ -103,6 +108,7 @@ class WaveAccumulator:
         self.work_key = work_key if work_key is not None else (lambda item: 0.0)
         self.clock = clock
         self.stats = stats
+        self.tracer = get_tracer(tracer)
         #: Wave-shaping diagnostics, mirroring the engine's scheduling
         #: vocabulary: how many trailing partial waves were folded into
         #: their predecessor, and how many lanes rode along.
@@ -217,4 +223,11 @@ class WaveAccumulator:
         if self.stats is not None:
             for wave in waves:
                 self.stats.record_wave(len(wave), reason)
+        if self.tracer.enabled and waves:
+            self.tracer.instant(
+                "wave.flush",
+                cause=reason,
+                waves=len(waves),
+                lanes=sum(len(wave) for wave in waves),
+            )
         return waves

@@ -31,6 +31,7 @@ from repro.pipeline.batcher import WaveAccumulator
 from repro.pipeline.ingest import ReadRecord, stream_reads
 from repro.pipeline.mapstage import MapStage
 from repro.pipeline.stats import PipelineStats
+from repro.telemetry.trace import get_tracer
 
 __all__ = ["CandidateWork", "MappedAlignment", "StreamingPipeline"]
 
@@ -121,6 +122,16 @@ class StreamingPipeline:
         only changes *when* results become visible to :meth:`run`.)
     scalar_traceback_threshold:
         Forwarded to :class:`repro.batch.BatchAlignmentEngine`.
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`.  When given, each
+        stage block records a ``stage.{ingest,map,batch,align,emit}`` span,
+        the accumulator emits ``wave.flush`` instants, the align stage
+        records per-wave spans (and worker-side ``worker.align.wave``
+        spans arrive through a traced
+        :class:`~repro.parallel.shm.SharedMemoryExecutor`), and the whole
+        run closes with one ``pipeline.run`` span — export with
+        :func:`repro.telemetry.exporters.write_chrome_trace`.  Defaults to
+        the no-op :data:`~repro.telemetry.trace.NULL_TRACER`.
 
     After a run, :attr:`stats` holds the :class:`PipelineStats` of the most
     recent :meth:`run` / :meth:`align_pairs` call.
@@ -142,6 +153,7 @@ class StreamingPipeline:
         max_reorder: Optional[int] = None,
         ordered: bool = True,
         scalar_traceback_threshold: Optional[int] = None,
+        tracer=None,
         name: str = "genasm-streaming",
     ) -> None:
         self.mapper = mapper
@@ -163,6 +175,7 @@ class StreamingPipeline:
         self.max_reorder = max_reorder
         self.ordered = ordered
         self.scalar_traceback_threshold = scalar_traceback_threshold
+        self.tracer = get_tracer(tracer)
         self.name = name
         #: Stats of the most recent run (populated even on partial
         #: consumption of the generator).
@@ -181,6 +194,7 @@ class StreamingPipeline:
             max_lanes=None,
             scheduling=self.scheduling,
             name=self.name,
+            tracer=self.tracer,
         )
         if self.scalar_traceback_threshold is not None:
             kwargs["scalar_traceback_threshold"] = self.scalar_traceback_threshold
@@ -200,6 +214,7 @@ class StreamingPipeline:
             scheduling=self.scheduling,
             work_key=lambda work: float(engine.expected_work(len(work.pattern))),
             stats=stats,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------ #
@@ -272,23 +287,24 @@ class StreamingPipeline:
             else None
         )
         map_stage = MapStage(mapper, workers=self.map_workers, executor=map_executor)
+        tracer = self.tracer
         order = 0
         try:
             records = stream_reads(reads)
             while True:
-                with stats.timer("ingest"):
+                with stats.timer("ingest"), tracer.span("stage.ingest"):
                     record = next(records, None)
                 if record is None:
                     break
                 stats.reads += 1
-                with stats.timer("map"):
+                with stats.timer("map"), tracer.span("stage.map", read=record.name):
                     map_stage.submit(record)
                     completed = map_stage.collect()
                 for mapped_record, items in completed:
                     for candidate, pattern, text in items:
                         yield CandidateWork(order, mapped_record, candidate, pattern, text)
                         order += 1
-            with stats.timer("map"):
+            with stats.timer("map"), tracer.span("stage.map", drain=True):
                 completed = map_stage.drain()
             for mapped_record, items in completed:
                 for candidate, pattern, text in items:
@@ -302,6 +318,8 @@ class StreamingPipeline:
     ) -> Iterator[MappedAlignment]:
         """Batch + align + emit over a work stream (in work order by default)."""
         start = time.perf_counter()
+        tracer = self.tracer
+        trace_start = tracer.now()
         align = self._build_align_stage()
         accumulator = self._build_accumulator(stats, align)
         stats.reorder_bound = self.max_reorder or 0
@@ -312,7 +330,9 @@ class StreamingPipeline:
             completed: List[Tuple[List[CandidateWork], List[Alignment]]]
         ) -> List[MappedAlignment]:
             nonlocal next_emit
-            with stats.timer("emit"):
+            with stats.timer("emit"), tracer.span(
+                "stage.emit", waves=len(completed)
+            ):
                 ready: List[MappedAlignment] = []
                 for wave, alignments in completed:
                     for work, alignment in zip(wave, alignments):
@@ -338,9 +358,11 @@ class StreamingPipeline:
         try:
             for work in works:
                 stats.candidates += 1
-                with stats.timer("batch"):
+                with stats.timer("batch"), tracer.span("stage.batch"):
                     waves = accumulator.push(work)
-                with stats.timer("align"):
+                with stats.timer("align"), tracer.span(
+                    "stage.align", waves=len(waves)
+                ):
                     for wave in waves:
                         align.submit(wave)
                     completed = align.collect()
@@ -351,16 +373,20 @@ class StreamingPipeline:
                     # deadlock — force-flush both.  Every candidate pushed
                     # so far then completes, which provably empties the
                     # buffer (all ordinals below the current one emit).
-                    with stats.timer("batch"):
+                    with stats.timer("batch"), tracer.span("stage.batch"):
                         waves = accumulator.flush(reason="reorder")
-                    with stats.timer("align"):
+                    with stats.timer("align"), tracer.span(
+                        "stage.align", waves=len(waves), drain=True
+                    ):
                         for wave in waves:
                             align.submit(wave)
                         completed = align.drain()
                     yield from absorb(completed)
-            with stats.timer("batch"):
+            with stats.timer("batch"), tracer.span("stage.batch", drain=True):
                 waves = accumulator.flush()
-            with stats.timer("align"):
+            with stats.timer("align"), tracer.span(
+                "stage.align", waves=len(waves), drain=True
+            ):
                 for wave in waves:
                     align.submit(wave)
                 completed = align.drain()
@@ -372,3 +398,12 @@ class StreamingPipeline:
         finally:
             align.close()
             stats.wall_seconds = time.perf_counter() - start
+            if tracer.enabled:
+                tracer.record_span(
+                    "pipeline.run",
+                    start=trace_start,
+                    end=tracer.now(),
+                    reads=stats.reads,
+                    candidates=stats.candidates,
+                    waves=stats.waves,
+                )

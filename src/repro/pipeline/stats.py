@@ -12,6 +12,14 @@ or align stage, a stage's seconds measure how long the pipeline loop
 blocked on that stage (submission plus waiting for results), so overlapped
 work shows up as ``wall_seconds`` smaller than the sum of the equivalent
 offline phases rather than as inflated per-stage numbers.
+
+Beyond the flat :meth:`PipelineStats.as_dict` view, every counter here
+publishes into the unified metrics registry via
+:meth:`PipelineStats.publish` (see :mod:`repro.telemetry.metrics` for the
+naming scheme and :mod:`repro.telemetry.exporters` for the Prometheus
+text exposition); per-event timelines are the trace layer's job
+(:class:`repro.telemetry.trace.Tracer`), which the pipeline threads
+alongside these aggregates.
 """
 
 from __future__ import annotations
@@ -136,7 +144,19 @@ class PipelineStats:
     # ------------------------------------------------------------------ #
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
-        """Accumulate the wall time of the enclosed block onto ``stage``."""
+        """Accumulate the wall time of the enclosed block onto ``stage``.
+
+        ``stage`` must be one of :data:`PIPELINE_STAGES` — the same
+        validate-before-mutate contract :meth:`record_wave` applies to
+        flush causes, so a typo'd stage name fails with a clear
+        :class:`ValueError` instead of a bare ``KeyError`` from the
+        accumulation dict (and instead of silently growing an
+        undocumented stage key).
+        """
+        if stage not in PIPELINE_STAGES:
+            raise ValueError(
+                f"unknown pipeline stage {stage!r}; must be one of {PIPELINE_STAGES}"
+            )
         start = time.perf_counter()
         try:
             yield
@@ -254,6 +274,76 @@ class PipelineStats:
             "tb_match_runs": self.tb_match_runs,
             "tb_match_run_ops": self.tb_match_run_ops,
         }
+
+    def publish(self, registry) -> None:
+        """Publish every metric of this run into a telemetry registry.
+
+        The registry-side twin of :meth:`as_dict` — same quantities, under
+        the ``pipeline_*`` metric names of the unified naming scheme
+        (counters carry exact running totals via
+        :meth:`~repro.telemetry.metrics.Counter.set_total`, so publishing
+        is idempotent; gauges hold the derived/point-in-time values; the
+        bounded recent-wave window loads a lane-count histogram).  The
+        telemetry tests assert ``as_dict()`` and the registry snapshot
+        agree for every published metric.
+        """
+        counters = {
+            "pipeline_reads_total": (self.reads, "reads ingested"),
+            "pipeline_candidates_total": (self.candidates, "candidate pairs mapped"),
+            "pipeline_waves_total": (self.waves, "waves dispatched"),
+            "pipeline_aligned_total": (self.aligned, "pairs aligned"),
+            "pipeline_full_waves_total": (self.full_waves, "waves dispatched full"),
+            "pipeline_wave_merges_total": (self.wave_merges, "trailing waves merged"),
+            "pipeline_merged_lanes_total": (self.merged_lanes, "lanes riding merges"),
+            "pipeline_tb_walk_steps_total": (self.tb_walk_steps, "traceback walk steps"),
+            "pipeline_tb_walk_steps_saved_total": (
+                self.tb_walk_steps_saved,
+                "walk steps skip-ahead saved",
+            ),
+            "pipeline_tb_match_runs_total": (
+                self.tb_match_runs,
+                "match runs consumed whole",
+            ),
+            "pipeline_tb_match_run_ops_total": (
+                self.tb_match_run_ops,
+                "ops inside consumed match runs",
+            ),
+        }
+        for name, (value, help_text) in counters.items():
+            registry.counter(name, help_text).set_total(value)
+        for stage in PIPELINE_STAGES:
+            registry.counter(
+                "pipeline_stage_seconds_total", "driver wait seconds per stage",
+                stage=stage,
+            ).set_total(self.stage_seconds[stage])
+        for cause in FLUSH_CAUSES:
+            registry.counter(
+                "pipeline_flushes_total", "wave flushes by cause", cause=cause
+            ).set_total(self.flushes[cause])
+        gauges = {
+            "pipeline_wave_size": (self.wave_size, "configured lanes per wave"),
+            "pipeline_wave_fill_efficiency": (
+                self.wave_fill_efficiency,
+                "occupied lane fraction",
+            ),
+            "pipeline_wall_seconds": (self.wall_seconds, "end-to-end wall time"),
+            "pipeline_max_pending": (self.max_pending, "accumulator high-water mark"),
+            "pipeline_mean_pending": (self.mean_pending, "mean accumulator occupancy"),
+            "pipeline_max_reorder_buffer": (
+                self.max_reorder_buffer,
+                "reorder-buffer high-water mark",
+            ),
+            "pipeline_reorder_bound": (self.reorder_bound, "configured reorder bound"),
+            "pipeline_reads_per_second": (self.reads_per_second, "read throughput"),
+            "pipeline_pairs_per_second": (self.pairs_per_second, "pair throughput"),
+        }
+        for name, (value, help_text) in gauges.items():
+            registry.gauge(name, help_text).set(value)
+        registry.histogram(
+            "pipeline_wave_lanes",
+            "lane counts of recent dispatched waves",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        ).load(self.wave_lane_counts)
 
     def summary(self) -> str:
         """Human-readable multi-line summary (used by the smoke examples)."""

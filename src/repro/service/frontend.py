@@ -59,6 +59,7 @@ from repro.pipeline.batcher import WaveAccumulator
 from repro.pipeline.stats import PipelineStats
 from repro.service.registry import ReferenceRegistry
 from repro.service.stats import ServiceStats
+from repro.telemetry.trace import get_tracer
 
 __all__ = ["AlignmentService", "ServiceRequest", "ServiceWork"]
 
@@ -66,7 +67,16 @@ __all__ = ["AlignmentService", "ServiceRequest", "ServiceWork"]
 class ServiceRequest:
     """One client submission: its pairs, its future, its progress."""
 
-    __slots__ = ("id", "tenant", "pairs", "future", "submitted_at", "remaining", "results")
+    __slots__ = (
+        "id",
+        "tenant",
+        "pairs",
+        "future",
+        "submitted_at",
+        "trace_start",
+        "remaining",
+        "results",
+    )
 
     def __init__(
         self,
@@ -74,6 +84,7 @@ class ServiceRequest:
         tenant: str,
         pairs: List[Tuple[str, str]],
         submitted_at: float,
+        trace_start: float = 0.0,
     ) -> None:
         self.id = request_id
         self.tenant = tenant
@@ -83,6 +94,9 @@ class ServiceRequest:
         # already ride in a shared wave with other tenants' work.
         self.future.set_running_or_notify_cancel()
         self.submitted_at = submitted_at
+        #: Submit time on the *tracer's* clock (``submitted_at`` is on the
+        #: service clock) — the routing side closes the request span with it.
+        self.trace_start = trace_start
         self.remaining = len(pairs)
         self.results: List[object] = [None] * len(pairs)
 
@@ -135,6 +149,12 @@ class AlignmentService:
         Start the daemon dispatcher thread at construction.  With
         ``False`` the caller pumps: :meth:`pump`, :meth:`drain`,
         :meth:`close` drive everything synchronously and deterministically.
+    tracer:
+        Optional :class:`~repro.telemetry.trace.Tracer`, shared with the
+        accumulator and align stage.  Each submit records a
+        ``service.submit`` instant; each completed request records one
+        ``service.request`` span (tenant, request id, pairs) spanning
+        submit to future resolution.
     name:
         Engine name (appears in alignment metadata).
     """
@@ -155,6 +175,7 @@ class AlignmentService:
         registry: Optional[ReferenceRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
         autostart: bool = True,
+        tracer=None,
         name: str = "genasm-service",
     ) -> None:
         if max_inflight_per_tenant is not None and max_inflight_per_tenant < 0:
@@ -164,6 +185,7 @@ class AlignmentService:
         )
         self.linger_seconds = linger_seconds
         self.stats = ServiceStats(pipeline=PipelineStats(wave_size=wave_size))
+        self.tracer = get_tracer(tracer)
         self._align = AlignStage(
             config,
             workers=workers,
@@ -171,6 +193,7 @@ class AlignmentService:
             executor=executor,
             scheduling=scheduling,
             name=name,
+            tracer=self.tracer,
         )
         engine = self._align.engine
         self._accumulator = WaveAccumulator(
@@ -182,6 +205,7 @@ class AlignmentService:
             work_key=lambda work: float(engine.expected_work(len(work.pattern))),
             clock=clock,
             stats=self.stats.pipeline,
+            tracer=self.tracer,
         )
         self._clock = clock
         self._registry = registry
@@ -240,8 +264,17 @@ class AlignmentService:
         with self._wake:
             if self._closed:
                 raise RuntimeError("service already closed")
-            request = ServiceRequest(next(self._ids), tenant, pairs, self._clock())
+            request = ServiceRequest(
+                next(self._ids), tenant, pairs, self._clock(), self.tracer.now()
+            )
             self.stats.record_submit(tenant, len(pairs))
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "service.submit",
+                    tenant=tenant,
+                    request_id=request.id,
+                    pairs=len(pairs),
+                )
             if pairs:
                 queue = self._queues.get(tenant)
                 if queue is None:
@@ -398,6 +431,15 @@ class AlignmentService:
             self.stats.record_request_done(
                 request.tenant, request.id, now - request.submitted_at, len(request.pairs)
             )
+            if self.tracer.enabled:
+                self.tracer.record_span(
+                    "service.request",
+                    start=request.trace_start,
+                    end=self.tracer.now(),
+                    tenant=request.tenant,
+                    request_id=request.id,
+                    pairs=len(request.pairs),
+                )
             request.future.set_result(request.results)
 
     # ------------------------------------------------------------------ #

@@ -16,9 +16,16 @@ follows.
 
 :class:`ServiceStats` bundles both axes: the wave-level
 :class:`PipelineStats` the accumulator feeds, the per-tenant
-:class:`LatencyStats`, request/pair counters, per-tenant in-flight
-high-water marks (the fairness-limit evidence), and a bounded
-request-completion order trace that the starvation regression test reads.
+:class:`LatencyStats`, request/pair counters (overall and per submitting
+tenant, so fairness analysis can compare submitted vs completed), per-
+tenant in-flight high-water marks (the fairness-limit evidence), and a
+bounded request-completion order trace that the starvation regression
+test reads.
+
+Like :class:`PipelineStats`, everything here also publishes into the
+unified metrics registry via :meth:`ServiceStats.publish` (names under
+``service_*``; see :mod:`repro.telemetry.metrics` for the scheme and
+:mod:`repro.telemetry.exporters` for the text exposition).
 """
 
 from __future__ import annotations
@@ -154,6 +161,11 @@ class ServiceStats:
     pairs_submitted, pairs_admitted, pairs_completed:
         Pair-granular progress: queued by clients, admitted into the
         accumulator by the round-robin sweep, and routed back.
+    tenant_requests_submitted, tenant_pairs_submitted:
+        The same submission counters broken out per tenant (requests and
+        pairs accepted under each tenant label).  Paired with the
+        per-tenant completion counts :attr:`latency` tracks, these are
+        the submitted-vs-completed comparison fairness analysis needs.
     max_inflight:
         Per-tenant high-water mark of pairs admitted-but-unrouted — the
         evidence the per-tenant fairness limit actually bounds.
@@ -169,14 +181,23 @@ class ServiceStats:
     pairs_submitted: int = 0
     pairs_admitted: int = 0
     pairs_completed: int = 0
+    tenant_requests_submitted: Dict[str, int] = field(default_factory=dict)
+    tenant_pairs_submitted: Dict[str, int] = field(default_factory=dict)
     max_inflight: Dict[str, int] = field(default_factory=dict)
     completion_order: Deque[Tuple[str, int]] = field(
         default_factory=lambda: deque(maxlen=_COMPLETION_TRACE)
     )
 
     def record_submit(self, tenant: str, pairs: int) -> None:
+        """One request of ``pairs`` pairs accepted under ``tenant``."""
         self.requests_submitted += 1
         self.pairs_submitted += pairs
+        self.tenant_requests_submitted[tenant] = (
+            self.tenant_requests_submitted.get(tenant, 0) + 1
+        )
+        self.tenant_pairs_submitted[tenant] = (
+            self.tenant_pairs_submitted.get(tenant, 0) + pairs
+        )
 
     def record_admitted(self, tenant: str, inflight: int) -> None:
         """One pair entered the accumulator; ``inflight`` is the tenant's new depth."""
@@ -193,6 +214,54 @@ class ServiceStats:
         self.completion_order.append((tenant, request_id))
 
     # ------------------------------------------------------------------ #
+    def publish(self, registry) -> None:
+        """Publish service counters into a telemetry ``MetricsRegistry``.
+
+        Names live under ``service_*`` (and the embedded wave-level stats
+        under ``pipeline_*`` via :meth:`PipelineStats.publish
+        <repro.pipeline.stats.PipelineStats.publish>`).  Publishing is a
+        snapshot — counters are ``set_total``'d, so re-publishing the same
+        stats never double-counts.  See :mod:`repro.telemetry.metrics`.
+        """
+        for name, value in (
+            ("service_requests_submitted_total", self.requests_submitted),
+            ("service_requests_completed_total", self.requests_completed),
+            ("service_pairs_submitted_total", self.pairs_submitted),
+            ("service_pairs_admitted_total", self.pairs_admitted),
+            ("service_pairs_completed_total", self.pairs_completed),
+        ):
+            registry.counter(name).set_total(value)
+        for tenant, count in sorted(self.tenant_requests_submitted.items()):
+            registry.counter(
+                "service_tenant_requests_submitted_total", tenant=tenant
+            ).set_total(count)
+        for tenant, pairs in sorted(self.tenant_pairs_submitted.items()):
+            registry.counter(
+                "service_tenant_pairs_submitted_total", tenant=tenant
+            ).set_total(pairs)
+        for tenant in self.latency.tenants():
+            registry.counter(
+                "service_tenant_requests_completed_total", tenant=tenant
+            ).set_total(self.latency.count(tenant))
+        for tenant, peak in sorted(self.max_inflight.items()):
+            registry.gauge(
+                "service_max_inflight_pairs", tenant=tenant
+            ).set(peak)
+        for tenant, latency in self.latency.as_dict().items():
+            label = {"tenant": tenant}
+            for quantile in ("p50", "p95", "p99"):
+                registry.gauge(
+                    "service_request_latency_ms", quantile=quantile, **label
+                ).set(latency[f"{quantile}_ms"])
+            registry.gauge(
+                "service_request_latency_ms", quantile="mean", **label
+            ).set(latency["mean_ms"])
+            registry.gauge(
+                "service_request_latency_ms", quantile="max", **label
+            ).set(latency["max_ms"])
+        self.pipeline.publish(registry)
+
+    # ------------------------------------------------------------------ #
     def as_dict(self) -> Dict[str, object]:
         """Flat report-friendly view (what the E3 experiment rows embed)."""
         return {
@@ -201,6 +270,13 @@ class ServiceStats:
             "pairs_submitted": self.pairs_submitted,
             "pairs_admitted": self.pairs_admitted,
             "pairs_completed": self.pairs_completed,
+            "tenant_submitted": {
+                tenant: {
+                    "requests": self.tenant_requests_submitted.get(tenant, 0),
+                    "pairs": self.tenant_pairs_submitted.get(tenant, 0),
+                }
+                for tenant in sorted(self.tenant_requests_submitted)
+            },
             "max_inflight": dict(self.max_inflight),
             "latency": self.latency.as_dict(),
             "pipeline": self.pipeline.as_dict(),
@@ -216,8 +292,14 @@ class ServiceStats:
             f"flushes={self.pipeline.flushes}"
         ]
         for tenant, summary in sorted(self.latency.as_dict().items()):
+            if tenant == "*":
+                submitted_part = ""
+            else:
+                submitted = self.tenant_requests_submitted.get(tenant, 0)
+                submitted_part = f"/{submitted}"
             lines.append(
-                f"  tenant {tenant}: requests={summary['requests']} "
+                f"  tenant {tenant}: requests={summary['requests']}"
+                f"{submitted_part} "
                 f"p50={summary['p50_ms']:.2f}ms p95={summary['p95_ms']:.2f}ms "
                 f"p99={summary['p99_ms']:.2f}ms max={summary['max_ms']:.2f}ms"
             )

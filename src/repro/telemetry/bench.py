@@ -1,0 +1,363 @@
+"""Perf-trajectory recorder: validate, append and trend ``BENCH_*.json``.
+
+``BENCH_pipeline.json`` is the repo's checked-in performance memory: the
+smokes append measurement rows so speed is tracked *over time*, not just
+gated one-off per run.  Until this module every smoke hand-rolled the
+same load / append / truncate / dump sequence and reimplemented the
+regression floor check, and nothing validated the file's shape — a
+malformed edit surfaced only as a smoke crash much later.
+
+:class:`BenchRecorder` owns that loop:
+
+* **Schema validation** (:func:`validate_bench`) — the file must be a
+  JSON object whose ``*history`` keys hold lists of flat row objects,
+  each with an ISO-ish ``date`` string and scalar fields only;
+  ``regression_threshold`` and ``baseline.ratio`` are checked when
+  present.  Validation is deliberately tolerant of *extra* keys so the
+  trajectory can grow new sections without schema churn.
+* **Provenance-stamped appends** (:meth:`BenchRecorder.append`) — every
+  row gets a ``date``, the current ``git_sha`` and, when a config object
+  is supplied, a short ``config_fingerprint``
+  (:func:`config_fingerprint`), so any history row can be traced back to
+  the exact code and configuration that produced it.  Histories stay
+  bounded (``limit`` newest rows kept).
+* **Trend deltas** (:meth:`BenchRecorder.trend`) — the latest row's
+  numeric field compared against the trailing-window mean, the quantity
+  ROADMAP's "persistent perf trajectory" item asks for.
+* **The regression check** (:meth:`BenchRecorder.regression_floor` /
+  :meth:`BenchRecorder.check_ratio`) — the
+  ``ratio >= regression_threshold * baseline.ratio`` gate the
+  shared-memory smoke previously reimplemented inline.
+
+Run ``python -m repro.telemetry.bench [path]`` to validate a bench file
+and print its trajectories (CI's ``bench-schema`` step; exits non-zero on
+schema violations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import subprocess
+import time
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "BenchRecorder",
+    "BenchSchemaError",
+    "config_fingerprint",
+    "git_sha",
+    "validate_bench",
+]
+
+#: Rows retained per history by default (matches the smokes' historical cap).
+DEFAULT_HISTORY_LIMIT = 50
+
+#: ``date`` rows must at least lead with an ISO date (the smokes write
+#: ``%Y-%m-%dT%H:%M:%S``; a bare date is accepted for baselines).
+_DATE_PATTERN = re.compile(r"^\d{4}-\d{2}-\d{2}([T ].*)?$")
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+class BenchSchemaError(ValueError):
+    """A bench file violated the trajectory schema; ``problems`` lists how."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = list(problems)
+        super().__init__(
+            "bench file failed schema validation:\n  - " + "\n  - ".join(problems)
+        )
+
+
+def _check_row(path: str, row: object, problems: List[str]) -> None:
+    if not isinstance(row, dict):
+        problems.append(f"{path}: history row must be an object, got {type(row).__name__}")
+        return
+    date = row.get("date")
+    if not isinstance(date, str) or not _DATE_PATTERN.match(date):
+        problems.append(f"{path}: row needs an ISO 'date' string, got {date!r}")
+    for key, value in row.items():
+        if not isinstance(value, _SCALAR):
+            problems.append(
+                f"{path}.{key}: history fields must be scalars, got {type(value).__name__}"
+            )
+
+
+def validate_bench(data: object) -> None:
+    """Raise :class:`BenchSchemaError` unless ``data`` fits the bench schema.
+
+    Checks, per section:
+
+    * top level must be a JSON object;
+    * every key ending in ``history`` must hold a list of flat row
+      objects, each with an ISO-ish ``date`` and scalar-only fields;
+    * ``regression_threshold`` (when present, anywhere an object carries
+      it) must be a number in ``(0, 1]``;
+    * any ``baseline`` object must carry a numeric ``ratio`` or other
+      scalar fields only.
+
+    Unknown keys are allowed everywhere — the trajectory grows new
+    sections (service, traceback, future GPU/numba histories) without
+    schema edits.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        raise BenchSchemaError(
+            [f"top level must be an object, got {type(data).__name__}"]
+        )
+
+    def walk(path: str, node: object) -> None:
+        if not isinstance(node, dict):
+            return
+        for key, value in node.items():
+            here = f"{path}.{key}" if path else key
+            if key.endswith("history"):
+                if not isinstance(value, list):
+                    problems.append(f"{here}: must be a list of rows")
+                    continue
+                for index, row in enumerate(value):
+                    _check_row(f"{here}[{index}]", row, problems)
+            elif key == "regression_threshold":
+                if not isinstance(value, (int, float)) or isinstance(value, bool) or not (
+                    0 < value <= 1
+                ):
+                    problems.append(
+                        f"{here}: must be a number in (0, 1], got {value!r}"
+                    )
+            elif key == "baseline":
+                if not isinstance(value, dict):
+                    problems.append(f"{here}: must be an object")
+                else:
+                    ratio = value.get("ratio")
+                    if ratio is not None and (
+                        not isinstance(ratio, (int, float)) or isinstance(ratio, bool)
+                    ):
+                        problems.append(f"{here}.ratio: must be a number, got {ratio!r}")
+            elif isinstance(value, dict):
+                walk(here, value)
+
+    walk("", data)
+    if problems:
+        raise BenchSchemaError(problems)
+
+
+# --------------------------------------------------------------------------- #
+def git_sha(root: Optional[Union[str, Path]] = None) -> str:
+    """Short git SHA of ``root`` (``"unknown"`` outside a repo / without git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def config_fingerprint(config: object) -> str:
+    """Short stable digest of a configuration object.
+
+    Accepts dataclasses (e.g. :class:`~repro.core.config.GenASMConfig`),
+    plain dicts, or anything with a ``__dict__``; the fingerprint is the
+    first 12 hex chars of the SHA-1 of the sorted-key JSON rendering, so
+    two rows fingerprint equal iff every config field matched.
+    """
+    if is_dataclass(config) and not isinstance(config, type):
+        payload = asdict(config)
+    elif isinstance(config, dict):
+        payload = config
+    elif hasattr(config, "__dict__"):
+        payload = {k: v for k, v in vars(config).items() if not k.startswith("_")}
+    else:
+        payload = {"value": repr(config)}
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+class BenchRecorder:
+    """Load/validate/append/save loop over one ``BENCH_*.json`` trajectory.
+
+    ``BenchRecorder(path)`` loads and validates immediately; mutate via
+    :meth:`append` and persist with :meth:`save` (which re-validates, so
+    a recorder can never write a file the CI ``bench-schema`` step would
+    reject).  ``data`` is the live dict for read access (baselines,
+    workload sections).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.data: Dict[str, object] = json.loads(self.path.read_text())
+        validate_bench(self.data)
+
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        history_key: str,
+        row: Dict[str, object],
+        *,
+        config: Optional[object] = None,
+        limit: int = DEFAULT_HISTORY_LIMIT,
+    ) -> Dict[str, object]:
+        """Append one provenance-stamped row to ``history_key``.
+
+        The stored row is ``row`` plus ``date`` (now; kept if the caller
+        already set one), ``git_sha``, and — when ``config`` is given —
+        ``config_fingerprint``.  The history is truncated to the newest
+        ``limit`` rows.  Returns the stored row.
+        """
+        if not history_key.endswith("history"):
+            raise ValueError(
+                f"history keys end in 'history' (schema contract), got {history_key!r}"
+            )
+        stored: Dict[str, object] = {
+            "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "git_sha": git_sha(self.path.parent),
+        }
+        if config is not None:
+            stored["config_fingerprint"] = config_fingerprint(config)
+        stored.update(row)
+        history = self.data.setdefault(history_key, [])
+        if not isinstance(history, list):
+            raise BenchSchemaError([f"{history_key}: must be a list of rows"])
+        history.append(stored)
+        self.data[history_key] = history[-limit:]
+        _check_row(history_key, stored, problems := [])
+        if problems:
+            raise BenchSchemaError(problems)
+        return stored
+
+    def save(self) -> None:
+        """Re-validate and write the trajectory back (2-space indent + \\n)."""
+        validate_bench(self.data)
+        self.path.write_text(json.dumps(self.data, indent=2) + "\n")
+
+    # ------------------------------------------------------------------ #
+    def history(self, history_key: str) -> List[Dict[str, object]]:
+        value = self.data.get(history_key, [])
+        return value if isinstance(value, list) else []
+
+    def trend(
+        self, history_key: str, field: str, *, window: int = 5
+    ) -> Optional[Dict[str, float]]:
+        """Latest value of ``field`` vs the trailing-window mean.
+
+        Returns ``{"latest", "trailing_mean", "delta", "ratio", "rows"}``
+        where ``delta = latest - trailing_mean`` and ``ratio`` is their
+        quotient — or ``None`` when fewer than two rows carry the field
+        (no trailing window to compare against).
+        """
+        values = [
+            float(row[field])
+            for row in self.history(history_key)
+            if isinstance(row, dict)
+            and isinstance(row.get(field), (int, float))
+            and not isinstance(row.get(field), bool)
+        ]
+        if len(values) < 2:
+            return None
+        latest = values[-1]
+        trailing = values[-(window + 1) : -1]
+        mean = sum(trailing) / len(trailing)
+        return {
+            "latest": latest,
+            "trailing_mean": mean,
+            "delta": latest - mean,
+            "ratio": (latest / mean) if mean else float("inf"),
+            "rows": float(len(trailing)),
+        }
+
+    # ------------------------------------------------------------------ #
+    def regression_floor(self) -> Optional[float]:
+        """``regression_threshold * baseline.ratio`` (``None`` if unset)."""
+        threshold = self.data.get("regression_threshold")
+        baseline = self.data.get("baseline")
+        if not isinstance(threshold, (int, float)) or not isinstance(baseline, dict):
+            return None
+        ratio = baseline.get("ratio")
+        if not isinstance(ratio, (int, float)):
+            return None
+        return float(threshold) * float(ratio)
+
+    def check_ratio(self, ratio: float) -> Dict[str, object]:
+        """The smokes' regression gate: is ``ratio`` above the floor?
+
+        Returns ``{"ok", "ratio", "floor", "baseline", "threshold"}``;
+        ``ok`` is ``True`` when no floor is configured (nothing to gate).
+        """
+        floor = self.regression_floor()
+        baseline = self.data.get("baseline", {})
+        return {
+            "ok": floor is None or ratio >= floor,
+            "ratio": float(ratio),
+            "floor": floor,
+            "baseline": baseline.get("ratio") if isinstance(baseline, dict) else None,
+            "threshold": self.data.get("regression_threshold"),
+        }
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: validate a bench file and print its trajectories."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Validate a BENCH_*.json perf trajectory and print trends."
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_pipeline.json",
+        help="bench file to validate (default: BENCH_pipeline.json)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        recorder = BenchRecorder(args.path)
+    except FileNotFoundError:
+        print(f"bench file not found: {args.path}")
+        return 2
+    except (json.JSONDecodeError, BenchSchemaError) as error:
+        print(f"INVALID: {args.path}")
+        print(str(error))
+        return 1
+    print(f"OK: {args.path} validates")
+    for key in sorted(recorder.data):
+        if not key.endswith("history"):
+            continue
+        rows = recorder.history(key)
+        print(f"  {key}: {len(rows)} rows")
+        if not rows:
+            continue
+        latest = rows[-1]
+        numeric = [
+            field
+            for field, value in latest.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and field not in ("trials",)
+        ]
+        for field in numeric:
+            trend = recorder.trend(key, field)
+            if trend is None:
+                print(f"    {field}: {latest[field]} (no trailing window yet)")
+            else:
+                print(
+                    f"    {field}: {trend['latest']:g} "
+                    f"(trailing mean {trend['trailing_mean']:g}, "
+                    f"delta {trend['delta']:+g})"
+                )
+    floor = recorder.regression_floor()
+    if floor is not None:
+        print(f"  regression floor: {floor:g}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI step
+    raise SystemExit(main())

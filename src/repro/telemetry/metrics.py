@@ -1,0 +1,284 @@
+"""Metrics registry: named counters, gauges and histograms, one snapshot.
+
+Before this module every observability surface grew its own ``as_dict()``
+— :class:`~repro.pipeline.stats.PipelineStats`,
+:class:`~repro.service.stats.ServiceStats`, the engine's
+``traceback_stats`` — and every consumer (smokes, experiments, benches)
+re-plumbed those dicts by hand.  A :class:`MetricsRegistry` is the one
+place they all publish into: metrics are identified by a **name plus a
+small label set** (Prometheus-style, e.g.
+``pipeline_flushes_total{cause="size"}``), and one
+:meth:`MetricsRegistry.snapshot` (or the text exposition in
+:mod:`repro.telemetry.exporters`) reads everything.
+
+Metric types follow the Prometheus vocabulary:
+
+* :class:`Counter` — monotonically increasing totals (``inc``).  Stats
+  objects that already hold exact running totals publish them with
+  :meth:`Counter.set_total` — documented as snapshot-publishing, which
+  keeps re-publishing idempotent (the value *is* the running total, it
+  never double-counts).
+* :class:`Gauge` — point-in-time values (``set``): fill efficiency,
+  high-water marks, latency percentiles.
+* :class:`Histogram` — bucketed distributions (``observe``), with
+  :meth:`Histogram.load` for idempotent snapshot publishing from a
+  bounded sample window (e.g. recent wave lane counts).
+
+Naming scheme (asserted by the consistency tests): ``<subsystem>_<what>``
+with ``_total`` suffixing counters, ``_seconds``/``_ms``/``_bytes``
+suffixing unit-carrying values, and labels for the enumerable dimensions
+(``stage``, ``cause``, ``tenant``, ``backend``) rather than name-mangling
+them in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+]
+
+#: Default histogram bucket upper bounds (generic positive-value spread;
+#: pass explicit buckets for unit-specific metrics).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def metric_key(name: str, labels: Dict[str, object]) -> str:
+    """Canonical ``name{k="v",...}`` identity of one labelled metric."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class _Metric:
+    """Shared identity/value plumbing of the three metric types."""
+
+    metric_type = "untyped"
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.key = metric_key(name, labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.key}={self.value()!r}>"
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    metric_type = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge for ups and downs")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Publish an externally-accumulated running total (idempotent).
+
+        For stats objects that already keep exact totals
+        (:class:`~repro.pipeline.stats.PipelineStats` counts,
+        ``traceback_stats`` sums): re-publishing replaces rather than
+        re-adds.  The monotonicity contract is the caller's — these totals
+        only grow over a run.
+        """
+        self._value = float(value)
+
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Metric):
+    """Point-in-time value that may go up and down."""
+
+    metric_type = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (Prometheus histogram semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket always
+    exists.  :meth:`value` reports ``{"count", "sum", "buckets"}`` with
+    cumulative per-bound counts, which is what the text exposition emits.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, object],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[index] += 1
+                return
+        self._counts[-1] += 1
+
+    def clear(self) -> None:
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def load(self, samples: Iterable[float]) -> None:
+        """Replace the distribution with ``samples`` (snapshot publishing).
+
+        The idempotent twin of :meth:`observe` for stats that keep a
+        bounded recent window (wave lane counts, latency samples):
+        publishing the window twice must not double every bucket.
+        """
+        self.clear()
+        for sample in samples:
+            self.observe(sample)
+
+    def value(self) -> Dict[str, object]:
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts[:-1]):
+            running += count
+            cumulative.append((bound, running))
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": cumulative,  # (+Inf cumulative == count)
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of every named metric; one snapshot reads all.
+
+    ``counter(name, **labels)`` (and ``gauge``/``histogram``) returns the
+    existing metric for that exact name+labels identity or creates it —
+    so publishers need no registration phase, and two publishers naming
+    the same metric share it.  Re-registering a name as a different type
+    raises (one name, one type, any labels).  Thread-safe: the service
+    publishes from its dispatcher thread while exporters snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._families: Dict[str, Tuple[str, str]] = {}  # name -> (type, help)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        return self._get_or_create("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        return self._get_or_create("gauge", name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        return self._get_or_create("histogram", name, help, labels, buckets=buckets)
+
+    def _get_or_create(
+        self,
+        metric_type: str,
+        name: str,
+        help: str,
+        labels: Dict[str, object],
+        *,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Metric:
+        key = metric_key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is not None:
+                if metric.metric_type != metric_type:
+                    raise ValueError(
+                        f"metric {key!r} already registered as "
+                        f"{metric.metric_type}, not {metric_type}"
+                    )
+                return metric
+            family = self._families.get(name)
+            if family is not None and family[0] != metric_type:
+                raise ValueError(
+                    f"metric family {name!r} already registered as "
+                    f"{family[0]}, not {metric_type}"
+                )
+            if family is None or (help and not family[1]):
+                self._families[name] = (metric_type, help)
+            if metric_type == "counter":
+                metric = Counter(name, labels)
+            elif metric_type == "gauge":
+                metric = Gauge(name, labels)
+            else:
+                metric = Histogram(
+                    name, labels, buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            self._metrics[key] = metric
+            return metric
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str, **labels: object):
+        """The current value of one metric (``None`` if never registered)."""
+        with self._lock:
+            metric = self._metrics.get(metric_key(name, labels))
+        return None if metric is None else metric.value()
+
+    def families(self) -> Dict[str, Tuple[str, str]]:
+        """``name -> (type, help)`` for every registered metric family."""
+        with self._lock:
+            return dict(self._families)
+
+    def metrics(self) -> List[_Metric]:
+        """Every registered metric, sorted by canonical key."""
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.key)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``canonical key -> value`` view of every metric.
+
+        Counter/gauge values are floats; histogram values are their
+        ``{"count", "sum", "buckets"}`` dicts.  This is the registry-side
+        half of the ``as_dict()`` ↔ snapshot consistency contract the
+        telemetry tests assert for every published metric.
+        """
+        with self._lock:
+            return {key: metric.value() for key, metric in sorted(self._metrics.items())}
