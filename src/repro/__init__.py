@@ -33,9 +33,14 @@ contribution:
     The streaming pipeline: ingest, mapping, wave accumulation and
     (optionally process-sharded) wave execution overlapped behind
     ``StreamingPipeline``, emitting results in input order.
+``repro.io``
+    Standard alignment output: SAM/PAF emitters with minimap2-style MAPQ,
+    usable offline (``write_sam``/``write_paf``) or as streaming sinks on
+    the pipeline's ``sink=`` seam.
 ``repro.harness``
-    Dataset construction, the experiment registry (E1–E5 and ablations)
-    and report generation.
+    Dataset construction, the experiment registry (E1–E5 and ablations),
+    the declarative experiment-grid runner (``repro.harness.grid``) and
+    report generation.
 
 Quickstart::
 

@@ -63,11 +63,42 @@ class Alignment:
         """Half-open text interval covered by the alignment."""
         return (self.text_start, int(self.text_end))
 
+    def reference_coordinates(self, region_start: int = 0) -> Tuple[int, int]:
+        """Absolute 0-based half-open reference interval of the alignment.
+
+        ``region_start`` is where :attr:`text` begins on the reference
+        (e.g. :attr:`~repro.mapping.mapper.CandidateMapping.ref_start`),
+        so SAM/PAF emitters can place the alignment on the chromosome
+        rather than on the candidate region.
+        """
+        return (region_start + self.text_start, region_start + int(self.text_end))
+
+    @property
+    def resolved_cigar(self) -> Cigar:
+        """The CIGAR with ambiguous ``M`` runs resolved to ``=``/``X``.
+
+        GenASM and the in-repo baselines emit ``=``/``X`` directly, in
+        which case this is :attr:`cigar` itself; CIGARs carrying classic
+        ``M`` (ALIGN) runs are resolved against the stored sequences so
+        match counts and identity are exact either way.
+        """
+        return self.cigar.resolve_align(self.pattern, self.text[self.text_start :])
+
+    @property
+    def matches(self) -> int:
+        """Number of exact-match columns (``M`` runs resolved first)."""
+        return self.resolved_cigar.matches
+
     @property
     def identity(self) -> float:
-        """Fraction of alignment columns that are exact matches."""
+        """Fraction of alignment columns that are exact matches.
+
+        ``M`` (ALIGN) runs are resolved against the sequences before
+        counting — a CIGAR like ``100M`` no longer reports near-zero
+        identity just because none of its columns is literally ``=``.
+        """
         total = len(self.cigar)
-        return (self.cigar.matches / total) if total else 1.0
+        return (self.matches / total) if total else 1.0
 
     def validate(self) -> None:
         """Re-check the CIGAR against the stored sequences.

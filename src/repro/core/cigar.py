@@ -165,8 +165,30 @@ class Cigar:
 
     @property
     def matches(self) -> int:
-        """Number of exact-match (``=``) columns."""
+        """Number of exact-match (``=``) columns.
+
+        ``M`` (ALIGN) columns are ambiguous and contribute zero here; use
+        :meth:`resolve_align` against the sequences first when a CIGAR may
+        carry ``M`` runs (baseline aligners emit them).
+        """
         return sum(length for length, op in self.runs if op is CigarOp.MATCH)
+
+    @property
+    def has_align_ops(self) -> bool:
+        """Whether any ambiguous ``M`` (ALIGN) run is present."""
+        return any(op is CigarOp.ALIGN for _, op in self.runs)
+
+    @property
+    def leading_clip(self) -> int:
+        """Length of the leading soft-clip run (0 when none)."""
+        return self.runs[0][0] if self.runs and self.runs[0][1] is CigarOp.SOFT_CLIP else 0
+
+    @property
+    def trailing_clip(self) -> int:
+        """Length of the trailing soft-clip run (0 when none)."""
+        if len(self.runs) < 2 or self.runs[-1][1] is not CigarOp.SOFT_CLIP:
+            return 0
+        return self.runs[-1][0]
 
     def counts(self) -> dict:
         """Return a mapping from op value to total length, for reporting."""
@@ -191,6 +213,41 @@ class Cigar:
             (length, CigarOp.ALIGN if op in (CigarOp.MATCH, CigarOp.MISMATCH) else op)
             for length, op in self.runs
         )
+
+    def resolve_align(self, pattern: str, text: str) -> "Cigar":
+        """Split ambiguous ``M`` (ALIGN) runs into ``=``/``X`` runs.
+
+        The inverse of :meth:`collapse_to_M`: every ``M`` column is
+        compared against the sequences it covers (``pattern`` from the
+        read, ``text`` from the *consumed* reference span, i.e. starting
+        at the alignment's ``text_start``) and re-labelled as an exact
+        match or a mismatch.  CIGARs without ``M`` runs are returned
+        unchanged, so the call is safe on every aligner's output.
+
+        Raises ``ValueError`` when an ``M`` run overruns either sequence.
+        """
+        if not self.has_align_ops:
+            return self
+        runs: List[Tuple[int, CigarOp]] = []
+        p = 0
+        t = 0
+        for length, op in self.runs:
+            if op is CigarOp.ALIGN:
+                if p + length > len(pattern) or t + length > len(text):
+                    raise ValueError(
+                        f"'M' run of {length} at pattern {p} / text {t} overruns "
+                        f"the sequences ({len(pattern)} / {len(text)} chars)"
+                    )
+                for i in range(length):
+                    same = pattern[p + i] == text[t + i]
+                    runs.append((1, CigarOp.MATCH if same else CigarOp.MISMATCH))
+            else:
+                runs.append((length, op))
+            if op.consumes_pattern:
+                p += length
+            if op.consumes_text:
+                t += length
+        return Cigar.from_runs(runs)
 
     # ------------------------------------------------------------------ #
     # Validation and scoring against sequences

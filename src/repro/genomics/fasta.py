@@ -45,8 +45,21 @@ def iter_fasta(path: PathLike) -> Iterator[Tuple[str, str]]:
 
 
 def read_fasta(path: PathLike) -> Dict[str, str]:
-    """Read a whole FASTA file into an ordered ``{name: sequence}`` dict."""
-    return dict(iter_fasta(path))
+    """Read a whole FASTA file into an ordered ``{name: sequence}`` dict.
+
+    Raises ``ValueError`` on duplicate record names: silently collapsing
+    them into one dict entry would drop all but the last sequence, which
+    for a reference FASTA means losing whole chromosomes.
+    """
+    records: Dict[str, str] = {}
+    for name, sequence in iter_fasta(path):
+        if name in records:
+            raise ValueError(
+                f"duplicate sequence name {name!r} in FASTA file {path}; "
+                "earlier record would be silently dropped"
+            )
+        records[name] = sequence
+    return records
 
 
 def write_fasta(
@@ -67,15 +80,29 @@ def write_fasta(
 def iter_fastq(path: PathLike) -> Iterator[Tuple[str, str, str]]:
     """Yield ``(name, sequence, quality)`` records from a FASTQ file.
 
-    Streaming counterpart of :func:`read_fastq` (same record semantics:
-    stops at a blank line, ignores a trailing partial record) used by the
-    pipeline ingest stage so reads never have to be materialised at once.
+    Streaming counterpart of :func:`read_fastq` (same record semantics,
+    ignores a trailing partial record) used by the pipeline ingest stage
+    so reads never have to be materialised at once.  Blank lines are only
+    legal at end of file: a mid-file blank line followed by more content
+    raises ``ValueError`` instead of silently truncating the stream.
     """
     with open(path, "r", encoding="ascii") as handle:
         line_number = 0
         while True:
             record = [handle.readline() for _ in range(4)]
-            if not record[0] or not record[0].rstrip("\n"):
+            if not record[0]:
+                return
+            if not record[0].rstrip("\n"):
+                # A blank line is EOF-equivalent only when nothing but
+                # blank lines follows; otherwise reads after it would be
+                # silently dropped from the stream.
+                for rest in (*record[1:], *handle):
+                    if rest.strip():
+                        raise ValueError(
+                            f"blank line at line {line_number + 1} of {path} "
+                            "followed by more records; FASTQ streams must "
+                            "not contain interior blank lines"
+                        )
                 return
             if not record[3]:
                 return  # trailing partial record, matching read_fastq

@@ -14,11 +14,15 @@ from repro.harness.experiments import (
     run_short_read_throughput_experiment,
     run_streaming_throughput_experiment,
 )
+from repro.harness.grid import ExperimentGrid, GridCell, GridRunner
 from repro.harness.report import format_table, generate_experiments_markdown
 
 __all__ = [
     "AlignmentWorkload",
     "build_paper_dataset",
+    "ExperimentGrid",
+    "GridCell",
+    "GridRunner",
     "PAPER_CLAIMS",
     "run_cpu_speed_experiment",
     "run_batched_throughput_experiment",

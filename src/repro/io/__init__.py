@@ -1,0 +1,56 @@
+"""Standard alignment output: SAM and PAF emission with MAPQ.
+
+The repro's compute path ends in :class:`~repro.core.alignment.Alignment`
+objects; this package turns them into formats the rest of the genomics
+toolchain consumes.  :mod:`repro.io.records` joins alignments with their
+mapping provenance (reference placement, primary/secondary election, a
+minimap2-style MAPQ from the chain-score gap and identity);
+:mod:`repro.io.sam` and :mod:`repro.io.paf` render the records.  Both
+formats have an offline writer (``write_sam``/``write_paf``) and a
+streaming sink (``SamSink``/``PafSink``) for
+:meth:`repro.pipeline.StreamingPipeline.run`'s ``sink=`` seam — the two
+paths are byte-identical on the same results.
+"""
+
+from repro.io.paf import PafEmitter, PafSink, paf_record_line, write_paf
+from repro.io.records import (
+    MAX_MAPQ,
+    AlignmentRecord,
+    GroupingSink,
+    as_pair,
+    build_records,
+    compute_mapq,
+    group_by_read,
+)
+from repro.io.sam import (
+    FLAG_REVERSE,
+    FLAG_SECONDARY,
+    FLAG_UNMAPPED,
+    SamEmitter,
+    SamSink,
+    sam_header_lines,
+    sam_record_line,
+    write_sam,
+)
+
+__all__ = [
+    "FLAG_REVERSE",
+    "FLAG_SECONDARY",
+    "FLAG_UNMAPPED",
+    "MAX_MAPQ",
+    "AlignmentRecord",
+    "GroupingSink",
+    "as_pair",
+    "PafEmitter",
+    "PafSink",
+    "SamEmitter",
+    "SamSink",
+    "build_records",
+    "compute_mapq",
+    "group_by_read",
+    "paf_record_line",
+    "sam_header_lines",
+    "sam_record_line",
+    "write_paf",
+    "write_sam",
+]

@@ -36,21 +36,31 @@ class Chain:
     score: float = 0.0
     strand: int = 1
 
+    def _require_anchors(self) -> List[Anchor]:
+        # A bare ``min() arg is an empty sequence`` from the properties
+        # below told callers nothing about *what* was empty.
+        if not self.anchors:
+            raise ValueError(
+                "empty chain has no coordinates (no anchors); "
+                "chain_anchors never emits such chains"
+            )
+        return self.anchors
+
     @property
     def query_start(self) -> int:
-        return min(a.query_pos for a in self.anchors)
+        return min(a.query_pos for a in self._require_anchors())
 
     @property
     def query_end(self) -> int:
-        return max(a.query_pos + a.length for a in self.anchors)
+        return max(a.query_pos + a.length for a in self._require_anchors())
 
     @property
     def ref_start(self) -> int:
-        return min(a.ref_pos for a in self.anchors)
+        return min(a.ref_pos for a in self._require_anchors())
 
     @property
     def ref_end(self) -> int:
-        return max(a.ref_pos + a.length for a in self.anchors)
+        return max(a.ref_pos + a.length for a in self._require_anchors())
 
     def __len__(self) -> int:
         return len(self.anchors)
@@ -117,6 +127,7 @@ def chain_anchors(
         for node in members:
             used[node] = True
         chain_anchors_list = [sorted_anchors[node] for node in members]
+        assert chain_anchors_list, "chain_anchors must never emit an empty chain"
         chains.append(
             Chain(
                 anchors=chain_anchors_list,

@@ -22,7 +22,38 @@ from repro.mapping.chaining import Anchor, Chain, chain_anchors
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.minimizers import extract_minimizers
 
-__all__ = ["CandidateMapping", "Mapper"]
+__all__ = ["CandidateMapping", "Mapper", "mapping_confidence"]
+
+
+def mapping_confidence(
+    candidates: List[CandidateMapping],
+) -> Tuple[int, float, float]:
+    """Elect the primary among one read's candidates (the MAPQ inputs).
+
+    Returns ``(primary_index, primary_score, best_secondary_score)``.
+    The primary is the candidate the mapper flagged ``is_primary`` (ties
+    broken by chain score) or, when no flag is set — e.g. a hand-built
+    group — simply the best-scoring candidate.  ``best_secondary_score``
+    is the strongest *other* chain's score, ``0.0`` when the mapping is
+    unique; the gap between the two is what
+    :func:`repro.io.compute_mapq` turns into a mapping quality.
+    """
+    if not candidates:
+        raise ValueError("mapping_confidence needs at least one candidate")
+    primary_index = max(
+        range(len(candidates)),
+        key=lambda i: (candidates[i].is_primary, candidates[i].chain_score),
+    )
+    primary_score = float(candidates[primary_index].chain_score)
+    secondary_score = max(
+        (
+            float(c.chain_score)
+            for i, c in enumerate(candidates)
+            if i != primary_index
+        ),
+        default=0.0,
+    )
+    return primary_index, primary_score, secondary_score
 
 
 @dataclass

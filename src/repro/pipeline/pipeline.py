@@ -219,7 +219,11 @@ class StreamingPipeline:
 
     # ------------------------------------------------------------------ #
     def run(
-        self, reads: Union[str, Iterable], *, mapper: Optional[Mapper] = None
+        self,
+        reads: Union[str, Iterable],
+        *,
+        mapper: Optional[Mapper] = None,
+        sink=None,
     ) -> Iterator[MappedAlignment]:
         """Stream reads end to end; yields results in candidate input order.
 
@@ -227,6 +231,15 @@ class StreamingPipeline:
         accepts (a FASTA/FASTQ path, simulated reads, name/sequence tuples,
         bare strings).  Results appear as soon as their wave completes and
         every earlier candidate has been emitted.
+
+        ``sink`` is the emit-sink seam: an object with ``write(result)``
+        and ``finish()`` — e.g. :class:`repro.io.SamSink` /
+        :class:`repro.io.PafSink` — that receives every result as it is
+        emitted (records stream to the output handle while alignment is
+        still running) and is finished when the stream completes.  The
+        emitted bytes are identical to writing the materialised results
+        offline (:func:`repro.io.write_sam`), which the parity tests pin.
+        With ``ordered=False`` pass a sink built with ``eager=False``.
         """
         mapper = mapper if mapper is not None else self.mapper
         if mapper is None:
@@ -237,13 +250,34 @@ class StreamingPipeline:
             )
         stats = PipelineStats(wave_size=self.wave_size)
         self.stats = stats
-        return self._execute(self._mapped_works(reads, mapper, stats), stats)
+        results = self._execute(self._mapped_works(reads, mapper, stats), stats)
+        if sink is None:
+            return results
+        return self._stream_to_sink(results, sink)
+
+    @staticmethod
+    def _stream_to_sink(
+        results: Iterator[MappedAlignment], sink
+    ) -> Iterator[MappedAlignment]:
+        """Tee results into the sink; finish it when the stream completes.
+
+        ``finish`` runs only on normal exhaustion — an abandoned generator
+        must not flush half a read group into the output file.
+        """
+        for mapped in results:
+            sink.write(mapped)
+            yield mapped
+        sink.finish()
 
     def run_all(
-        self, reads: Union[str, Iterable], *, mapper: Optional[Mapper] = None
+        self,
+        reads: Union[str, Iterable],
+        *,
+        mapper: Optional[Mapper] = None,
+        sink=None,
     ) -> List[MappedAlignment]:
         """:meth:`run`, materialised."""
-        return list(self.run(reads, mapper=mapper))
+        return list(self.run(reads, mapper=mapper, sink=sink))
 
     def align_pairs(self, pairs: Iterable[Tuple[str, str]]) -> List[Alignment]:
         """Stream pre-built (pattern, text) pairs through batch + align.

@@ -275,10 +275,23 @@ class BenchRecorder:
         }
 
     # ------------------------------------------------------------------ #
-    def regression_floor(self) -> Optional[float]:
+    def _gate_scope(self, section: Optional[str]) -> Dict[str, object]:
+        """The dict holding the gate config: the file root, or a section.
+
+        Multiple benchmarks share one trajectory file (the shared-memory
+        smoke at the root, ``service``, ``grid``, ...); each can carry its
+        own ``regression_threshold`` + ``baseline`` inside its section.
+        """
+        if section is None:
+            return self.data
+        scope = self.data.get(section)
+        return scope if isinstance(scope, dict) else {}
+
+    def regression_floor(self, *, section: Optional[str] = None) -> Optional[float]:
         """``regression_threshold * baseline.ratio`` (``None`` if unset)."""
-        threshold = self.data.get("regression_threshold")
-        baseline = self.data.get("baseline")
+        scope = self._gate_scope(section)
+        threshold = scope.get("regression_threshold")
+        baseline = scope.get("baseline")
         if not isinstance(threshold, (int, float)) or not isinstance(baseline, dict):
             return None
         ratio = baseline.get("ratio")
@@ -286,20 +299,25 @@ class BenchRecorder:
             return None
         return float(threshold) * float(ratio)
 
-    def check_ratio(self, ratio: float) -> Dict[str, object]:
+    def check_ratio(
+        self, ratio: float, *, section: Optional[str] = None
+    ) -> Dict[str, object]:
         """The smokes' regression gate: is ``ratio`` above the floor?
 
         Returns ``{"ok", "ratio", "floor", "baseline", "threshold"}``;
         ``ok`` is ``True`` when no floor is configured (nothing to gate).
+        ``section`` reads the gate config from a nested section of the
+        bench file instead of the root (e.g. ``section="grid"``).
         """
-        floor = self.regression_floor()
-        baseline = self.data.get("baseline", {})
+        scope = self._gate_scope(section)
+        floor = self.regression_floor(section=section)
+        baseline = scope.get("baseline", {})
         return {
             "ok": floor is None or ratio >= floor,
             "ratio": float(ratio),
             "floor": floor,
             "baseline": baseline.get("ratio") if isinstance(baseline, dict) else None,
-            "threshold": self.data.get("regression_threshold"),
+            "threshold": scope.get("regression_threshold"),
         }
 
 

@@ -131,3 +131,35 @@ def test_edit_distance_counts_non_matches(ops):
     cigar = Cigar.from_ops(ops)
     expected = sum(1 for op in ops if op is not CigarOp.MATCH)
     assert cigar.edit_distance == expected
+
+
+class TestResolveAlignAndClips:
+    def test_resolves_m_runs_against_sequences(self):
+        cigar = Cigar.from_string("4M")
+        resolved = cigar.resolve_align("ACGT", "ACTT")
+        assert str(resolved) == "2=1X1="
+        assert resolved.matches == 3 and resolved.edit_distance == 1
+
+    def test_no_m_returns_same_object(self):
+        cigar = Cigar.from_string("3=1X")
+        assert cigar.resolve_align("ACGA", "ACGT") is cigar
+
+    def test_mixed_ops_track_both_cursors(self):
+        cigar = Cigar.from_string("2M1I2M")
+        resolved = cigar.resolve_align("ACGTT", "ACTA")
+        assert str(resolved) == "2=1I1=1X"
+
+    def test_m_run_overrunning_sequences_raises(self):
+        with pytest.raises(ValueError, match="overruns"):
+            Cigar.from_string("5M").resolve_align("ACGT", "ACGT")
+
+    def test_has_align_ops(self):
+        assert Cigar.from_string("3M").has_align_ops
+        assert not Cigar.from_string("3=1X1I").has_align_ops
+
+    def test_clip_lengths(self):
+        cigar = Cigar.from_string("2S3=1S")
+        assert cigar.leading_clip == 2
+        assert cigar.trailing_clip == 1
+        assert Cigar.from_string("3=").leading_clip == 0
+        assert Cigar.from_string("3=").trailing_clip == 0

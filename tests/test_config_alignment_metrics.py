@@ -143,3 +143,22 @@ class TestMemoryFootprint:
         report = footprint_report(GenASMConfig(), rows_used=8)
         assert report["reduction_factor"] > 1
         assert report["baseline_kib"] > report["improved_kib"]
+
+
+class TestIdentityWithClassicM:
+    def test_identity_resolves_m_runs(self):
+        # A classic-M CIGAR must not report zero identity just because no
+        # column is literally '='. Three of four M columns match here.
+        alignment = Alignment("ACGT", "ACTT", Cigar.from_string("4M"), 1)
+        assert alignment.matches == 3
+        assert alignment.identity == pytest.approx(0.75)
+
+    def test_identity_unchanged_for_eqx_cigars(self):
+        alignment = Alignment("ACGT", "ACTT", Cigar.from_string("2=1X1="), 1)
+        assert alignment.identity == pytest.approx(0.75)
+        assert alignment.resolved_cigar is alignment.cigar
+
+    def test_reference_coordinates_offsets_by_region(self):
+        alignment = Alignment("ACGT", "GGACGT", Cigar.from_string("4="), 0, text_start=2)
+        assert alignment.reference_coordinates() == (2, 6)
+        assert alignment.reference_coordinates(100) == (102, 106)

@@ -206,6 +206,23 @@ class TestFastaFastq:
         with pytest.raises(ValueError):
             write_fastq(path, [("r1", "ACGT", "II")])
 
+    def test_fasta_duplicate_name_raises(self, tmp_path):
+        path = tmp_path / "dup.fa"
+        path.write_text(">chr1\nACGT\n>chr2\nGGGG\n>chr1\nTTTT\n")
+        with pytest.raises(ValueError, match="duplicate sequence name 'chr1'"):
+            read_fasta(path)
+
+    def test_fastq_mid_file_blank_line_raises(self, tmp_path):
+        path = tmp_path / "blank.fq"
+        path.write_text("@r1\nACGT\n+\nIIII\n\n@r2\nGGGG\n+\nIIII\n")
+        with pytest.raises(ValueError, match="blank line"):
+            read_fastq(path)
+
+    def test_fastq_trailing_blank_lines_are_eof(self, tmp_path):
+        path = tmp_path / "trail.fq"
+        path.write_text("@r1\nACGT\n+\nIIII\n\n\n")
+        assert read_fastq(path) == [("r1", "ACGT", "IIII")]
+
     def test_simulated_reads_roundtrip_through_fastq(self, tmp_path):
         genome = SyntheticGenome.random({"a": 20_000}, seed=4, repeat_fraction=0.0)
         reads = PacBioSimulator(mean_length=500, seed=1).simulate(genome, 5)

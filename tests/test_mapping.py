@@ -159,3 +159,59 @@ class TestMapper:
         random_read = random_dna(500, np.random.default_rng(99))
         # A random sequence should rarely chain anywhere on this small genome.
         assert len(mapper.map_sequence("random", random_read)) <= 1
+
+
+class TestChainGuards:
+    def test_empty_chain_coordinates_raise_clearly(self):
+        from repro.mapping.chaining import Chain
+
+        chain = Chain()
+        for prop in ("query_start", "query_end", "ref_start", "ref_end"):
+            with pytest.raises(ValueError, match="no anchors"):
+                getattr(chain, prop)
+
+    def test_chain_anchors_never_emits_empty_chains(self):
+        anchors = [Anchor(q, q + 50, 1) for q in range(0, 600, 30)]
+        chains = chain_anchors(anchors)
+        assert chains
+        for chain in chains:
+            assert len(chain) > 0
+            assert chain.query_start <= chain.query_end  # coordinates usable
+
+
+class TestMappingConfidence:
+    def _candidate(self, score, primary=False):
+        from repro.mapping.mapper import CandidateMapping
+
+        return CandidateMapping("r", "a", 0, 100, "+", score, 10, primary)
+
+    def test_unique_candidate(self):
+        from repro.mapping.mapper import mapping_confidence
+
+        index, primary, secondary = mapping_confidence([self._candidate(80.0, True)])
+        assert (index, primary, secondary) == (0, 80.0, 0.0)
+
+    def test_gap_between_best_and_second_best(self):
+        from repro.mapping.mapper import mapping_confidence
+
+        candidates = [
+            self._candidate(90.0, True),
+            self._candidate(60.0),
+            self._candidate(30.0),
+        ]
+        assert mapping_confidence(candidates) == (0, 90.0, 60.0)
+
+    def test_primary_flag_beats_raw_score(self):
+        from repro.mapping.mapper import mapping_confidence
+
+        # The mapper's election is authoritative even if a later rescoring
+        # left a secondary with the numerically larger chain score.
+        candidates = [self._candidate(50.0, True), self._candidate(70.0)]
+        index, primary, secondary = mapping_confidence(candidates)
+        assert index == 0 and primary == 50.0 and secondary == 70.0
+
+    def test_empty_group_raises(self):
+        from repro.mapping.mapper import mapping_confidence
+
+        with pytest.raises(ValueError, match="at least one candidate"):
+            mapping_confidence([])
